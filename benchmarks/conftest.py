@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact (figure or table) and
+asserts its qualitative shape, while pytest-benchmark captures the
+runtime.  ``REPRO_BENCH_SCALE`` selects the protocol size:
+
+    REPRO_BENCH_SCALE=fast    (default; CI-friendly)
+    REPRO_BENCH_SCALE=medium
+    REPRO_BENCH_SCALE=paper   (the paper's protocol: 10 000 vectors,
+                               50 reference vectors, full circuit list)
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.named(os.environ.get("REPRO_BENCH_SCALE", "fast"))

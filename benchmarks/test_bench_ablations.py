@@ -1,0 +1,49 @@
+"""ABL benchmarks — design-choice ablations and the charge extension.
+
+* ABL-PI: Equation-2 normalization vs the naive S_is*P_sj weighting the
+  paper warns against (Section 3.1): the normalized shares keep Lemma 1
+  exact; the naive ones drift badly.
+* ABL-K: the number of sample glitch widths (paper: 10) — convergence.
+* ABL-Q: unreliability vs injected charge (the paper's "future
+  versions" look-up-table axis, implemented here).
+"""
+
+from repro.experiments.ablations import (
+    run_pi_ablation,
+    run_sample_count_ablation,
+)
+from repro.experiments.charge_sweep import run_charge_sweep
+
+
+def test_ablation_pi_normalization(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_pi_ablation("c432", scale), iterations=1, rounds=1
+    )
+    print(f"\nABL-PI on {result.circuit}: max wide-glitch deviation "
+          f"normalized={result.max_deviation_normalized:.2e}, "
+          f"naive={result.max_deviation_naive:.2f} "
+          f"(mean {result.mean_deviation_naive:.2f})")
+    assert result.max_deviation_normalized < 1e-6
+    assert result.max_deviation_naive > 0.10
+
+
+def test_ablation_sample_count(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_sample_count_ablation("c432", scale=scale),
+        iterations=1, rounds=1,
+    )
+    print(f"\nABL-K on {result.circuit} (reference k={result.reference_k}):")
+    for k in sorted(result.totals):
+        print(f"  k={k:<3} U={result.totals[k]:12.1f} "
+              f"err={result.relative_error(k):.4f}")
+    assert result.relative_error(10) < 0.05  # the paper's k=10 suffices
+
+
+def test_charge_sweep_extension(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_charge_sweep("c432", scale=scale), iterations=1, rounds=1
+    )
+    print(f"\nABL-Q on {result.circuit}: U vs injected charge (fC):")
+    for charge in sorted(result.totals_by_charge):
+        print(f"  {charge:6.1f} fC -> U={result.totals_by_charge[charge]:12.1f}")
+    assert result.is_nondecreasing()

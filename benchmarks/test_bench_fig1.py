@@ -1,0 +1,19 @@
+"""FIG1 benchmark — inverter glitch-generation sweeps (paper Fig 1)."""
+
+from repro.experiments.fig1_glitch_generation import run_fig1
+
+
+def test_fig1_glitch_generation(benchmark):
+    result = benchmark(run_fig1)
+    # Paper Fig 1 shape: every slowing knob widens the generated glitch.
+    assert result.series["size"].is_decreasing()
+    assert result.series["length_nm"].is_increasing()
+    assert result.series["vdd"].is_decreasing()
+    assert result.series["vth"].is_increasing()
+
+    print("\nFIG1 generated glitch width (ps), 16 fC strike:")
+    for knob, sweep in result.series.items():
+        pairs = ", ".join(
+            f"{v:g}:{w:.0f}" for v, w in zip(sweep.values, sweep.widths_ps)
+        )
+        print(f"  {knob:<10} {pairs}")

@@ -1,0 +1,20 @@
+"""FIG2 benchmark — inverter glitch-propagation sweeps (paper Fig 2)."""
+
+from repro.experiments.fig2_glitch_propagation import run_fig2
+
+
+def test_fig2_glitch_propagation(benchmark):
+    result = benchmark(run_fig2)
+    # Paper Fig 2 shape: every slowing knob narrows the propagated glitch.
+    assert result.series["size"].is_increasing()
+    assert result.series["length_nm"].is_decreasing()
+    assert result.series["vdd"].is_increasing()
+    assert result.series["vth"].is_decreasing()
+
+    print(f"\nFIG2 propagated width (ps) for a {result.input_width_ps} ps "
+          "input glitch:")
+    for knob, sweep in result.series.items():
+        pairs = ", ".join(
+            f"{v:g}:{w:.0f}" for v, w in zip(sweep.values, sweep.widths_ps)
+        )
+        print(f"  {knob:<10} {pairs}")

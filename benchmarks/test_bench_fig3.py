@@ -1,0 +1,24 @@
+"""FIG3 benchmark — ASERTA-vs-reference per-node correlation (paper Fig 3).
+
+Paper numbers: correlation 0.96 on c432 (nodes <= 5 levels from the
+POs), average 0.9 over the ISCAS'85 suite.
+"""
+
+from repro.experiments.fig3_c432_correlation import run_fig3
+
+
+def test_fig3_correlation(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scale), iterations=1, rounds=1
+    )
+    print(f"\nFIG3 per-node U_i correlation "
+          f"({result.primary.n_gates} gates on {result.primary.circuit_name}):")
+    print(f"  {result.primary.circuit_name}: "
+          f"{result.primary.correlation:.3f}   (paper: 0.96)")
+    for name, corr in result.suite.items():
+        print(f"  {name}: {corr:.3f}")
+    print(f"  suite average: {result.suite_average:.3f}   (paper: 0.9)")
+
+    # Shape assertion: strong positive correlation, as in the paper.
+    assert result.primary.correlation > 0.7
+    assert result.suite_average > 0.5

@@ -1,0 +1,31 @@
+"""RT benchmark — runtime scaling (paper Section 5 remarks).
+
+Paper (MATLAB): ASERTA 15 s on c432, 200 s on c7552; SERTOPT 20 min and
+27 h.  The reproducible shape: ASERTA grows roughly linearly with gate
+count, and a single SERTOPT cost evaluation costs about one ASERTA run
+(so a few-hundred-evaluation optimization is orders of magnitude more
+expensive than one analysis).
+"""
+
+from repro.experiments.runtime_scaling import run_runtime_scaling
+
+
+def test_runtime_scaling(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_runtime_scaling(scale), iterations=1, rounds=1
+    )
+    print("\nRT — runtime scaling:")
+    for row in result.rows:
+        print(
+            f"  {row.circuit:<6} gates={row.gates:<5} "
+            f"P_ij={row.analyzer_init_s:6.2f}s "
+            f"ASERTA={row.aserta_analyze_s:6.2f}s "
+            f"SERTOPT/eval={row.sertopt_eval_s:6.2f}s"
+        )
+    rows = sorted(result.rows, key=lambda row: row.gates)
+    assert all(row.aserta_analyze_s > 0.0 for row in rows)
+    if len(rows) >= 2 and rows[-1].gates > 2 * rows[0].gates:
+        # More gates => more analysis work (the near-linear growth);
+        # only asserted across a real size gap, where timing noise
+        # cannot flip the ordering.
+        assert rows[-1].aserta_analyze_s > rows[0].aserta_analyze_s

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Soft-Error Tolerance Analysis and
+Optimization of Nanometer Circuits" (Dhillon, Diril, Chatterjee,
+DATE 2005).
+
+Public API
+----------
+Circuits:
+    :class:`~repro.circuit.netlist.Circuit`,
+    :func:`~repro.circuit.iscas85.iscas85_circuit`,
+    :func:`~repro.circuit.bench_io.parse_bench_file`
+Technology:
+    :class:`~repro.tech.library.CellLibrary`,
+    :class:`~repro.tech.library.CellParams`,
+    :class:`~repro.tech.library.ParameterAssignment`,
+    :class:`~repro.tech.table_builder.TechnologyTables`
+Analysis (ASERTA):
+    :class:`~repro.core.aserta.AsertaAnalyzer`,
+    :class:`~repro.core.aserta.AsertaConfig`
+Optimization (SERTOPT):
+    :class:`~repro.core.sertopt.Sertopt`,
+    :class:`~repro.core.sertopt.SertoptConfig`,
+    :class:`~repro.core.cost.CostWeights`
+Reference simulation:
+    :class:`~repro.spice.transient.TransientSimulator`
+"""
+
+from repro.circuit import (
+    Circuit,
+    Gate,
+    GateType,
+    iscas85_circuit,
+    iscas85_names,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+from repro.core import (
+    AsertaAnalyzer,
+    AsertaConfig,
+    AsertaReport,
+    Sertopt,
+    SertoptConfig,
+    SertoptResult,
+    size_for_speed,
+)
+from repro.core.cost import CostWeights
+from repro.tech import (
+    CellLibrary,
+    CellParams,
+    CircuitElectrical,
+    ParameterAssignment,
+    TechnologyTables,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "iscas85_circuit",
+    "iscas85_names",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "AsertaAnalyzer",
+    "AsertaConfig",
+    "AsertaReport",
+    "Sertopt",
+    "SertoptConfig",
+    "SertoptResult",
+    "size_for_speed",
+    "CostWeights",
+    "CellLibrary",
+    "CellParams",
+    "CircuitElectrical",
+    "ParameterAssignment",
+    "TechnologyTables",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Comparison and reporting utilities (Fig-3-style correlations, tables)."""
+
+from repro.analysis.correlation import (
+    CorrelationResult,
+    correlate_reports,
+    pearson,
+)
+from repro.analysis.reports import format_table
+
+__all__ = ["CorrelationResult", "correlate_reports", "pearson", "format_table"]

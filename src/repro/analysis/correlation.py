@@ -1,0 +1,78 @@
+"""Per-node correlation between two unreliability estimators.
+
+The paper's Fig 3 plots ASERTA's per-gate unreliability ``U_i`` against
+SPICE's for c432 nodes at most five levels from the primary outputs and
+reports a correlation of 0.96 (0.9 averaged over the ISCAS'85 suite).
+This module computes the same comparison between any two
+:class:`~repro.core.unreliability.UnreliabilityReport` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.core.unreliability import UnreliabilityReport
+from repro.errors import AnalysisError
+
+
+def pearson(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Pearson correlation coefficient (0 for degenerate inputs)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise AnalysisError("correlation needs two equal-length 1-D arrays")
+    if xs.size < 2 or float(np.std(xs)) == 0.0 or float(np.std(ys)) == 0.0:
+        return 0.0
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Paired per-gate series plus their correlation."""
+
+    circuit_name: str
+    gate_names: tuple[str, ...]
+    first: np.ndarray
+    second: np.ndarray
+    correlation: float
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_names)
+
+
+def correlate_reports(
+    circuit: Circuit,
+    first: UnreliabilityReport,
+    second: UnreliabilityReport,
+    max_levels_from_output: int | None = None,
+) -> CorrelationResult:
+    """Correlate two estimators' per-gate ``U_i`` series.
+
+    ``max_levels_from_output`` restricts the comparison to gates within
+    that many levels of a primary output (the paper plots <= 5); ``None``
+    compares every gate.
+    """
+    if max_levels_from_output is None:
+        names = [g.name for g in circuit.gates()]
+    else:
+        levels = circuit.levels_from_outputs()
+        names = [
+            g.name
+            for g in circuit.gates()
+            if 0 <= levels[g.name] <= max_levels_from_output
+        ]
+    if not names:
+        raise AnalysisError("no gates selected for correlation")
+    xs = np.array([first.contribution(name) for name in names])
+    ys = np.array([second.contribution(name) for name in names])
+    return CorrelationResult(
+        circuit_name=circuit.name,
+        gate_names=tuple(names),
+        first=xs,
+        second=ys,
+        correlation=pearson(xs, ys),
+    )

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment prints through this module, so benchmark logs, example
+scripts and EXPERIMENTS.md all share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule, GitHub-markdown flavoured."""
+    if not headers:
+        raise AnalysisError("table needs at least one column")
+    cells = [[_render(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[col]) for row in cells)) if cells
+        else len(str(header))
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "| " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + " |"
+    )
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in cells:
+        lines.append(
+            "| " + " | ".join(v.ljust(w) for v, w in zip(row, widths)) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000.0:
+            return f"{value:.0f}"
+        if abs(value) >= 10.0:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(fraction: float) -> str:
+    """Render a fraction as a percentage with the paper's precision."""
+    return f"{100.0 * fraction:.0f}%"
+
+
+def format_ratio(ratio: float) -> str:
+    """Render a ratio in the paper's '1.23X' style."""
+    return f"{ratio:.2f}X"

@@ -1,0 +1,24 @@
+"""Circuit substrate: gates, netlists, benchmark I/O, generators, paths.
+
+The structural model is deliberately separate from the electrical model:
+a :class:`~repro.circuit.netlist.Circuit` knows only names, gate types and
+wiring.  Electrical parameters (size, channel length, VDD, Vth) are bound
+to a circuit by :class:`repro.tech.library.ParameterAssignment`.
+"""
+
+from repro.circuit.gate import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.bench_io import parse_bench, parse_bench_file, write_bench
+from repro.circuit.iscas85 import iscas85_circuit, iscas85_names, iscas85_stats
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Circuit",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "iscas85_circuit",
+    "iscas85_names",
+    "iscas85_stats",
+]

@@ -1,0 +1,127 @@
+"""Reader and writer for the ISCAS'85 ``.bench`` netlist format.
+
+The format, as used by the ISCAS'85/89 benchmark distributions::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+If the user has the original ISCAS'85 netlists, :func:`parse_bench_file`
+loads them verbatim; the synthetic suite in
+:mod:`repro.circuit.iscas85` is only a stand-in for the distribution
+files, which cannot be shipped here.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import BenchFormatError
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(([^)]*)\)$")
+
+_TYPE_BY_KEYWORD = {
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}
+
+_KEYWORD_BY_TYPE = {
+    GateType.BUF: "BUFF",
+    GateType.NOT: "NOT",
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a validated :class:`Circuit`."""
+    circuit = Circuit(name)
+    pending_outputs: list[str] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        declaration = _DECL_RE.match(line)
+        if declaration:
+            keyword, signal = declaration.group(1).upper(), declaration.group(2)
+            if keyword == "INPUT":
+                _checked(circuit.add_input, signal, line_number)
+            else:
+                pending_outputs.append(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            target, keyword, arg_text = gate.groups()
+            gtype = _TYPE_BY_KEYWORD.get(keyword.upper())
+            if gtype is None:
+                raise BenchFormatError(
+                    f"line {line_number}: unknown gate keyword {keyword!r}"
+                )
+            fanins = [arg.strip() for arg in arg_text.split(",") if arg.strip()]
+            _checked(circuit.add_gate, target, line_number, gtype, fanins)
+            continue
+        raise BenchFormatError(f"line {line_number}: cannot parse {raw_line.strip()!r}")
+    for signal in pending_outputs:
+        circuit.mark_output(signal)
+    circuit.validate()
+    return circuit
+
+
+def _checked(method, signal: str, line_number: int, *args) -> None:
+    try:
+        if args:
+            gtype, fanins = args
+            method(signal, gtype, fanins)
+        else:
+            method(signal)
+    except Exception as exc:  # re-raise with position information
+        raise BenchFormatError(f"line {line_number}: {exc}") from exc
+
+
+def parse_bench_file(path: str | Path) -> Circuit:
+    """Load a ``.bench`` file; the circuit is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Render a circuit back to ``.bench`` text (round-trips with parse)."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({name})" for name in circuit.inputs)
+    lines.extend(f"OUTPUT({name})" for name in circuit.outputs)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            continue
+        keyword = _KEYWORD_BY_TYPE[gate.gtype]
+        lines.append(f"{name} = {keyword}({', '.join(gate.fanins)})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path) -> None:
+    """Write ``circuit`` to ``path`` in ``.bench`` format."""
+    Path(path).write_text(write_bench(circuit))
+
+
+def known_keywords() -> Iterable[str]:
+    """The gate keywords this parser accepts (for documentation/tests)."""
+    return tuple(sorted(_TYPE_BY_KEYWORD))

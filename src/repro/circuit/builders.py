@@ -1,0 +1,222 @@
+"""Programmatic construction of common combinational blocks.
+
+These builders produce functionally real circuits (parity trees, adders,
+muxes, decoders, comparators) that the synthetic ISCAS-like generator
+composes into benchmark-scale netlists, and that tests use as known-good
+functional references.
+
+All builders share one convention: they append gates into a caller
+provided :class:`Circuit` using a :class:`NameScope` for unique names and
+return the names of the produced output signals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+
+class NameScope:
+    """Generates unique, readable signal names within one circuit."""
+
+    def __init__(self, prefix: str = "n") -> None:
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        self._counter += 1
+        if hint:
+            return f"{self._prefix}_{hint}_{self._counter}"
+        return f"{self._prefix}_{self._counter}"
+
+
+def reduce_tree(
+    circuit: Circuit,
+    scope: NameScope,
+    gtype: GateType,
+    signals: Sequence[str],
+    arity: int = 2,
+) -> str:
+    """Balanced reduction tree of ``gtype`` gates over ``signals``.
+
+    Returns the root signal name.  A single signal is returned as-is.
+    """
+    if not signals:
+        raise CircuitError("reduce_tree needs at least one signal")
+    if arity < 2:
+        raise CircuitError("reduce_tree arity must be at least 2")
+    level = list(signals)
+    while len(level) > 1:
+        nxt: list[str] = []
+        for start in range(0, len(level), arity):
+            group = level[start : start + arity]
+            if len(group) == 1:
+                nxt.append(group[0])
+            else:
+                nxt.append(
+                    circuit.add_gate(scope.fresh(gtype.value), gtype, group)
+                )
+        level = nxt
+    return level[0]
+
+
+def xor_tree(circuit: Circuit, scope: NameScope, signals: Sequence[str]) -> str:
+    """Balanced XOR (parity) tree; returns the parity signal."""
+    return reduce_tree(circuit, scope, GateType.XOR, signals)
+
+
+def inverter(circuit: Circuit, scope: NameScope, signal: str) -> str:
+    return circuit.add_gate(scope.fresh("inv"), GateType.NOT, [signal])
+
+
+def mux2(circuit: Circuit, scope: NameScope, select: str, low: str, high: str) -> str:
+    """2:1 multiplexer: output = high if select else low."""
+    select_n = inverter(circuit, scope, select)
+    term_low = circuit.add_gate(scope.fresh("muxa"), GateType.AND, [select_n, low])
+    term_high = circuit.add_gate(scope.fresh("muxb"), GateType.AND, [select, high])
+    return circuit.add_gate(scope.fresh("muxo"), GateType.OR, [term_low, term_high])
+
+
+def mux_tree(
+    circuit: Circuit, scope: NameScope, selects: Sequence[str], data: Sequence[str]
+) -> str:
+    """2^k : 1 multiplexer tree over ``data`` controlled by ``selects``."""
+    if len(data) != 1 << len(selects):
+        raise CircuitError(
+            f"mux_tree needs {1 << len(selects)} data inputs for "
+            f"{len(selects)} selects, got {len(data)}"
+        )
+    level = list(data)
+    for select in selects:
+        level = [
+            mux2(circuit, scope, select, level[i], level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def half_adder(
+    circuit: Circuit, scope: NameScope, a: str, b: str
+) -> tuple[str, str]:
+    """Half adder; returns ``(sum, carry)``."""
+    total = circuit.add_gate(scope.fresh("hs"), GateType.XOR, [a, b])
+    carry = circuit.add_gate(scope.fresh("hc"), GateType.AND, [a, b])
+    return total, carry
+
+
+def full_adder(
+    circuit: Circuit, scope: NameScope, a: str, b: str, carry_in: str
+) -> tuple[str, str]:
+    """Full adder from two half adders; returns ``(sum, carry_out)``."""
+    partial, carry_a = half_adder(circuit, scope, a, b)
+    total, carry_b = half_adder(circuit, scope, partial, carry_in)
+    carry_out = circuit.add_gate(scope.fresh("fc"), GateType.OR, [carry_a, carry_b])
+    return total, carry_out
+
+
+def ripple_adder(
+    circuit: Circuit,
+    scope: NameScope,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    carry_in: str | None = None,
+) -> tuple[list[str], str]:
+    """Ripple-carry adder (LSB first); returns ``(sum_bits, carry_out)``."""
+    if len(a_bits) != len(b_bits):
+        raise CircuitError("ripple_adder operands must have equal width")
+    if not a_bits:
+        raise CircuitError("ripple_adder needs at least one bit")
+    sums: list[str] = []
+    if carry_in is None:
+        total, carry = half_adder(circuit, scope, a_bits[0], b_bits[0])
+        sums.append(total)
+        start = 1
+    else:
+        carry = carry_in
+        start = 0
+    for index in range(start, len(a_bits)):
+        total, carry = full_adder(circuit, scope, a_bits[index], b_bits[index], carry)
+        sums.append(total)
+    return sums, carry
+
+
+def decoder(
+    circuit: Circuit, scope: NameScope, selects: Sequence[str]
+) -> list[str]:
+    """k-to-2^k one-hot decoder; returns the 2^k minterm signals."""
+    if not selects:
+        raise CircuitError("decoder needs at least one select line")
+    complements = [inverter(circuit, scope, s) for s in selects]
+    outputs: list[str] = []
+    for code in range(1 << len(selects)):
+        literals = [
+            selects[bit] if (code >> bit) & 1 else complements[bit]
+            for bit in range(len(selects))
+        ]
+        if len(literals) == 1:
+            outputs.append(
+                circuit.add_gate(scope.fresh("dec"), GateType.BUF, literals)
+            )
+        else:
+            outputs.append(
+                circuit.add_gate(scope.fresh("dec"), GateType.AND, literals)
+            )
+    return outputs
+
+
+def equality_comparator(
+    circuit: Circuit,
+    scope: NameScope,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+) -> str:
+    """Outputs 1 iff the two equal-width vectors match bit-for-bit."""
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise CircuitError("equality_comparator needs equal, non-zero widths")
+    matches = [
+        circuit.add_gate(scope.fresh("eq"), GateType.XNOR, [a, b])
+        for a, b in zip(a_bits, b_bits)
+    ]
+    return reduce_tree(circuit, scope, GateType.AND, matches)
+
+
+def expand_xor_to_nand(circuit: Circuit) -> Circuit:
+    """Rewrite every XOR/XNOR into a 4/5-gate NAND network.
+
+    This is the structural relationship between the real ISCAS circuits
+    c499 (XOR form) and c1355 (NAND-expanded form); the synthetic suite
+    uses it the same way.  Returns a new circuit named ``<name>_nand``.
+    """
+    expanded = Circuit(f"{circuit.name}_nand")
+    for name in circuit.inputs:
+        expanded.add_input(name)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            continue
+        if gate.gtype not in (GateType.XOR, GateType.XNOR):
+            expanded.add_gate(name, gate.gtype, gate.fanins)
+            continue
+        # Left-fold multi-input XOR into two-input stages.
+        acc = gate.fanins[0]
+        for stage, operand in enumerate(gate.fanins[1:]):
+            last = stage == len(gate.fanins) - 2
+            target = name if (last and gate.gtype is GateType.XOR) else f"{name}__x{stage}"
+            acc = _xor2_nand(expanded, acc, operand, target)
+        if gate.gtype is GateType.XNOR:
+            expanded.add_gate(name, GateType.NOT, [acc])
+    for name in circuit.outputs:
+        expanded.mark_output(name)
+    expanded.validate()
+    return expanded
+
+
+def _xor2_nand(circuit: Circuit, a: str, b: str, out_name: str) -> str:
+    """Two-input XOR as the classic 4-NAND network, output named ``out_name``."""
+    shared = circuit.add_gate(f"{out_name}__s", GateType.NAND, [a, b])
+    left = circuit.add_gate(f"{out_name}__l", GateType.NAND, [a, shared])
+    right = circuit.add_gate(f"{out_name}__r", GateType.NAND, [b, shared])
+    return circuit.add_gate(out_name, GateType.NAND, [left, right])

@@ -1,0 +1,248 @@
+"""Seeded generator for ISCAS'85-scale synthetic benchmark circuits.
+
+The original ISCAS'85 netlists cannot be shipped with this repository, so
+:mod:`repro.circuit.iscas85` composes *stand-ins*: functionally real
+blocks where the paper's narrative depends on function (the SEC decoder
+for c499, the array multiplier for c6288) and, for the rest, circuits
+from this generator matched to the published primary-input / primary-
+output / gate counts and logic depth.
+
+The generator builds a layered random DAG with locality-biased fan-in
+selection (which produces the reconvergent fan-out that makes exact
+sensitization analysis NP-complete, per the paper's Section 3.1), then
+guarantees global well-formedness:
+
+* every primary input feeds at least one gate,
+* every gate lies on some path to a primary output,
+* the primary output count is met exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.builders import NameScope, reduce_tree
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+#: Gate-type mixes loosely modelled on the ISCAS'85 family characters.
+FLAVORS: dict[str, dict[GateType, float]] = {
+    "control": {
+        GateType.NAND: 0.34,
+        GateType.NOR: 0.18,
+        GateType.AND: 0.12,
+        GateType.OR: 0.10,
+        GateType.NOT: 0.16,
+        GateType.BUF: 0.04,
+        GateType.XOR: 0.04,
+        GateType.XNOR: 0.02,
+    },
+    "alu": {
+        GateType.NAND: 0.28,
+        GateType.NOR: 0.10,
+        GateType.AND: 0.16,
+        GateType.OR: 0.10,
+        GateType.NOT: 0.12,
+        GateType.BUF: 0.04,
+        GateType.XOR: 0.14,
+        GateType.XNOR: 0.06,
+    },
+    "parity": {
+        GateType.NAND: 0.22,
+        GateType.NOR: 0.08,
+        GateType.AND: 0.10,
+        GateType.OR: 0.08,
+        GateType.NOT: 0.10,
+        GateType.BUF: 0.02,
+        GateType.XOR: 0.28,
+        GateType.XNOR: 0.12,
+    },
+}
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Target shape for one generated circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    depth: int
+    seed: int
+    flavor: str = "control"
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise CircuitError("generator needs at least one input and output")
+        if self.n_gates < self.n_outputs:
+            raise CircuitError("gate budget smaller than output count")
+        if self.depth < 2:
+            raise CircuitError("depth must be at least 2")
+        if self.flavor not in FLAVORS:
+            raise CircuitError(f"unknown flavor {self.flavor!r}")
+
+
+def generate_circuit(spec: GeneratorSpec) -> Circuit:
+    """Generate a deterministic synthetic circuit for ``spec``."""
+    rng = random.Random(spec.seed)
+    circuit = Circuit(spec.name)
+    weights = FLAVORS[spec.flavor]
+    gtypes = list(weights)
+    gweights = [weights[t] for t in gtypes]
+
+    inputs = [circuit.add_input(f"i{k}") for k in range(spec.n_inputs)]
+    unused_inputs = list(inputs)
+    rng.shuffle(unused_inputs)
+
+    # Reserve part of the budget for the well-formedness fix-up stage.
+    reserve = max(4, spec.n_gates // 12)
+    main_budget = max(spec.n_outputs, spec.n_gates - reserve)
+    per_level = _spread(main_budget, spec.depth)
+
+    levels: list[list[str]] = [list(inputs)]
+    fanout_seen: set[str] = set()
+    for level_index in range(1, spec.depth + 1):
+        level: list[str] = []
+        for position in range(per_level[level_index - 1]):
+            gtype = rng.choices(gtypes, gweights)[0]
+            target_count = _pick_fanin_count(rng, gtype)
+            fanins = _pick_fanins(rng, levels, level_index, target_count, unused_inputs)
+            if len(fanins) == 1 and gtype.min_fanin > 1:
+                gtype = rng.choice((GateType.NOT, GateType.BUF))
+            name = f"g{level_index}_{position}"
+            circuit.add_gate(name, gtype, fanins)
+            fanout_seen.update(fanins)
+            level.append(name)
+        levels.append(level)
+
+    _finalize_outputs(circuit, rng, spec, levels, fanout_seen, unused_inputs)
+    circuit.validate()
+    return circuit
+
+
+def _spread(total: int, buckets: int) -> list[int]:
+    """Distribute ``total`` gates over ``buckets`` levels, none left empty."""
+    base = total // buckets
+    counts = [base] * buckets
+    for index in range(total - base * buckets):
+        counts[index % buckets] += 1
+    for index, count in enumerate(counts):
+        if count == 0:
+            counts[index] = 1
+    return counts
+
+
+def _pick_fanin_count(rng: random.Random, gtype: GateType) -> int:
+    if gtype in (GateType.NOT, GateType.BUF):
+        return 1
+    return rng.choices([2, 3, 4], [0.62, 0.28, 0.10])[0]
+
+
+def _pick_fanins(
+    rng: random.Random,
+    levels: list[list[str]],
+    level_index: int,
+    target_count: int,
+    unused_inputs: list[str],
+) -> list[str]:
+    """Choose distinct fan-ins from strictly earlier levels.
+
+    The first fan-in always comes from the immediately preceding level,
+    which pins the gate at exactly ``level_index`` so the depth target is
+    met.  Remaining slots use a locality-biased draw, preferring unused
+    primary inputs until all are consumed.  If the prefix of the circuit
+    is too small to supply ``target_count`` distinct signals, a shorter
+    (possibly single-element) list is returned and the caller downgrades
+    the gate type.
+    """
+    chosen: list[str] = [rng.choice(levels[level_index - 1])]
+    attempts = 0
+    while len(chosen) < target_count and attempts < 60:
+        attempts += 1
+        candidate = _draw_candidate(rng, levels, level_index, unused_inputs)
+        if candidate not in chosen:
+            chosen.append(candidate)
+    if len(chosen) < target_count:
+        for level in reversed(levels[:level_index]):
+            for name in level:
+                if name not in chosen:
+                    chosen.append(name)
+                    if len(chosen) == target_count:
+                        return chosen
+    return chosen
+
+
+def _draw_candidate(
+    rng: random.Random,
+    levels: list[list[str]],
+    level_index: int,
+    unused_inputs: list[str],
+) -> str:
+    if unused_inputs and rng.random() < 0.35:
+        return unused_inputs.pop()
+    if rng.random() < 0.60:
+        return rng.choice(levels[level_index - 1])
+    donor_level = rng.randrange(0, level_index)
+    return rng.choice(levels[donor_level])
+
+
+def _finalize_outputs(
+    circuit: Circuit,
+    rng: random.Random,
+    spec: GeneratorSpec,
+    levels: list[list[str]],
+    fanout_seen: set[str],
+    unused_inputs: list[str],
+) -> None:
+    """Pick primary outputs and absorb every dangling signal.
+
+    Dangling signals (gates nobody reads, leftover primary inputs) either
+    become primary outputs directly or are folded into an XOR "absorber"
+    tree whose root becomes the final primary output, so that nothing in
+    the circuit is unobservable.
+    """
+    sinks = [
+        name
+        for name in circuit.signal_names()
+        if name not in fanout_seen and not circuit.gate(name).is_input
+    ]
+    leftover_pis = list(unused_inputs)
+
+    if len(sinks) >= spec.n_outputs:
+        direct = sinks[: spec.n_outputs - 1]
+        surplus = sinks[spec.n_outputs - 1 :] + leftover_pis
+    else:
+        direct = list(sinks)
+        depth_pool = [
+            name
+            for level in reversed(levels[max(1, len(levels) // 2) :])
+            for name in level
+            if name not in direct
+        ]
+        while len(direct) < spec.n_outputs - 1 and depth_pool:
+            candidate = depth_pool.pop(rng.randrange(len(depth_pool)))
+            direct.append(candidate)
+        surplus = leftover_pis
+
+    scope = NameScope("fix")
+    if surplus:
+        if len(surplus) == 1:
+            final = circuit.add_gate(scope.fresh("abs"), GateType.BUF, surplus)
+        else:
+            final = reduce_tree(circuit, scope, GateType.XOR, surplus)
+    else:
+        final = levels[-1][0] if levels[-1] else direct[-1]
+        if final in direct:
+            direct.remove(final)
+    for name in direct:
+        circuit.mark_output(name)
+    if final not in circuit.outputs:
+        circuit.mark_output(final)
+    while len(circuit.outputs) < spec.n_outputs:
+        # Extremely small specs can still be short; buffer random signals.
+        donor = rng.choice(levels[-1] or levels[-2])
+        extra = circuit.add_gate(scope.fresh("po"), GateType.BUF, [donor])
+        circuit.mark_output(extra)

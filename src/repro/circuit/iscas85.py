@@ -1,0 +1,138 @@
+"""Registry of ISCAS'85-like benchmark circuits.
+
+``c17`` is the exact published netlist (it is six gates and universally
+reproduced in the literature).  Every other member is a documented
+stand-in built to the published primary-input / primary-output / gate
+counts — see DESIGN.md for the substitution rationale:
+
+* ``c499``  — a *true* single-error-correcting decoder
+  (:mod:`repro.circuit.ecc`), preserving the paper's observation that an
+  ECC circuit's unreliability cannot be reduced by SERTOPT;
+* ``c1355`` — ``c499`` with every XOR expanded into NAND networks, which
+  is exactly the real c1355's relationship to the real c499;
+* ``c6288`` — a real 16x16 array multiplier
+  (:mod:`repro.circuit.multiplier`);
+* the rest — seeded structured random circuits from
+  :mod:`repro.circuit.generator`.
+
+Real ISCAS'85 ``.bench`` files, if available, load through
+:func:`repro.circuit.bench_io.parse_bench_file` and run through every
+tool in this library unchanged.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.circuit.bench_io import parse_bench
+from repro.circuit.builders import expand_xor_to_nand
+from repro.circuit.ecc import sec_decoder
+from repro.circuit.generator import GeneratorSpec, generate_circuit
+from repro.circuit.multiplier import array_multiplier
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+#: Published ISCAS'85 statistics: (inputs, outputs, gates, depth).
+PUBLISHED_STATS: dict[str, tuple[int, int, int, int]] = {
+    "c17": (5, 2, 6, 3),
+    "c432": (36, 7, 160, 17),
+    "c499": (41, 32, 202, 11),
+    "c880": (60, 26, 383, 24),
+    "c1355": (41, 32, 546, 24),
+    "c1908": (33, 25, 880, 40),
+    "c2670": (233, 140, 1193, 32),
+    "c3540": (50, 22, 1669, 47),
+    "c5315": (178, 123, 2307, 49),
+    "c6288": (32, 32, 2406, 124),
+    "c7552": (207, 108, 3512, 43),
+}
+
+#: The circuits evaluated in the paper's Table 1, in row order.
+TABLE1_CIRCUITS: tuple[str, ...] = (
+    "c432",
+    "c499",
+    "c1908",
+    "c2670",
+    "c3540",
+    "c5315",
+    "c7552",
+)
+
+_C17_BENCH = """
+# c17 (exact ISCAS'85 netlist)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+def _generated(name: str, flavor: str, depth: int) -> Callable[[], Circuit]:
+    inputs, outputs, gates, __ = PUBLISHED_STATS[name]
+    spec = GeneratorSpec(
+        name=name,
+        n_inputs=inputs,
+        n_outputs=outputs,
+        n_gates=gates,
+        depth=depth,
+        seed=int(name[1:]),
+        flavor=flavor,
+    )
+    return lambda: generate_circuit(spec)
+
+
+_BUILDERS: dict[str, Callable[[], Circuit]] = {
+    "c17": lambda: parse_bench(_C17_BENCH, name="c17"),
+    "c432": _generated("c432", "control", 17),
+    "c499": lambda: sec_decoder(32, 8, name="c499"),
+    "c880": _generated("c880", "alu", 24),
+    "c1355": lambda: expand_xor_to_nand(sec_decoder(32, 8, name="c1355x")).copy("c1355"),
+    "c1908": _generated("c1908", "parity", 34),
+    "c2670": _generated("c2670", "control", 28),
+    "c3540": _generated("c3540", "alu", 40),
+    "c5315": _generated("c5315", "alu", 42),
+    "c6288": lambda: array_multiplier(16, name="c6288"),
+    "c7552": _generated("c7552", "control", 38),
+}
+
+
+def iscas85_names() -> tuple[str, ...]:
+    """All registered benchmark names, smallest first."""
+    return tuple(sorted(_BUILDERS, key=lambda n: int(n[1:])))
+
+
+def iscas85_stats(name: str) -> tuple[int, int, int, int]:
+    """Published (inputs, outputs, gates, depth) for ``name``."""
+    try:
+        return PUBLISHED_STATS[name]
+    except KeyError:
+        raise CircuitError(f"unknown ISCAS'85 circuit {name!r}") from None
+
+
+@lru_cache(maxsize=None)
+def _cached(name: str) -> Circuit:
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise CircuitError(f"unknown ISCAS'85 circuit {name!r}") from None
+    return builder()
+
+
+def iscas85_circuit(name: str) -> Circuit:
+    """Build (or fetch from cache) the named benchmark circuit.
+
+    A shallow copy is returned, so callers may mark additional outputs
+    without corrupting the cache; :class:`~repro.circuit.gate.Gate`
+    objects themselves are immutable and shared.
+    """
+    return _cached(name).copy()

@@ -1,0 +1,82 @@
+"""A real n x n array multiplier (c6288-like).
+
+The ISCAS'85 c6288 is a 16x16 array multiplier (32 inputs, 32 outputs,
+2406 gates).  This module builds the classic carry-save array: an AND
+plane of partial products, rows of half/full adders, and a final ripple
+stage — a functionally correct multiplier of the same scale, used by the
+synthetic benchmark suite and as a logic-simulator correctness fixture.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builders import NameScope, full_adder, half_adder
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+
+def array_multiplier(width: int = 16, name: str | None = None) -> Circuit:
+    """Build a ``width x width`` unsigned array multiplier.
+
+    Inputs ``a0..a{w-1}`` and ``b0..b{w-1}`` (LSB first); outputs
+    ``p0..p{2w-1}``.
+    """
+    if width < 2:
+        raise CircuitError("array_multiplier needs width >= 2")
+    circuit = Circuit(name or f"mul{width}x{width}")
+    scope = NameScope("m")
+
+    a_bits = [circuit.add_input(f"a{i}") for i in range(width)]
+    b_bits = [circuit.add_input(f"b{i}") for i in range(width)]
+
+    # Partial-product AND plane: pp[i][j] = a[j] AND b[i].
+    partial = [
+        [
+            circuit.add_gate(f"pp_{i}_{j}", GateType.AND, [a_bits[j], b_bits[i]])
+            for j in range(width)
+        ]
+        for i in range(width)
+    ]
+
+    # Row-by-row carry-save accumulation.  ``acc`` holds the running sum
+    # bits of weight (row + j); ``product`` collects finished low bits.
+    product: list[str] = []
+    acc = list(partial[0])
+    for row in range(1, width):
+        product.append(acc[0])
+        row_bits = partial[row]
+        next_acc: list[str] = []
+        carry: str | None = None
+        for j in range(width):
+            addend = acc[j + 1] if j + 1 < len(acc) else None
+            operands = [row_bits[j]]
+            if addend is not None:
+                operands.append(addend)
+            if carry is not None:
+                operands.append(carry)
+            if len(operands) == 1:
+                next_acc.append(operands[0])
+                carry = None
+            elif len(operands) == 2:
+                total, carry = half_adder(circuit, scope, operands[0], operands[1])
+                next_acc.append(total)
+            else:
+                total, carry = full_adder(
+                    circuit, scope, operands[0], operands[1], operands[2]
+                )
+                next_acc.append(total)
+        if carry is not None:
+            next_acc.append(carry)
+        acc = next_acc
+
+    product.extend(acc)
+    if len(product) != 2 * width:
+        raise CircuitError(
+            f"internal error: array multiplier produced {len(product)} bits, "
+            f"expected {2 * width}"
+        )
+    for index, bit in enumerate(product):
+        out = circuit.add_gate(f"p{index}", GateType.BUF, [bit])
+        circuit.mark_output(out)
+    circuit.validate()
+    return circuit

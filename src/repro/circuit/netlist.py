@@ -1,0 +1,308 @@
+"""The :class:`Circuit` netlist: a combinational DAG of named gates.
+
+The circuit is mutable while being built (``add_input`` / ``add_gate`` /
+``mark_output``) and computes derived structure (topological order,
+levels, fanout maps, cones) lazily, invalidating caches on mutation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.circuit.gate import Gate, GateType
+from repro.errors import CircuitCycleError, CircuitError, UnknownGateError
+
+
+class Circuit:
+    """A combinational logic network.
+
+    Signals and gates share a namespace, as in the ISCAS ``.bench``
+    format: every signal is driven either by a primary input or by
+    exactly one gate, and a primary output is simply a signal marked
+    as observed by a latch.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._gates: dict[str, Gate] = {}
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input signal and return its name."""
+        self._check_fresh(name)
+        self._gates[name] = Gate(name, GateType.INPUT)
+        self._inputs.append(name)
+        self._cache.clear()
+        return name
+
+    def add_gate(self, name: str, gtype: GateType, fanins: Iterable[str]) -> str:
+        """Add a gate driving signal ``name`` and return the name."""
+        if gtype is GateType.INPUT:
+            raise CircuitError("use add_input() to declare primary inputs")
+        self._check_fresh(name)
+        self._gates[name] = Gate(name, gtype, tuple(fanins))
+        self._cache.clear()
+        return name
+
+    def mark_output(self, name: str) -> None:
+        """Mark signal ``name`` as a primary output (latched)."""
+        if name in self._outputs:
+            raise CircuitError(f"signal {name!r} is already a primary output")
+        self._outputs.append(name)
+        self._cache.clear()
+
+    def _check_fresh(self, name: str) -> None:
+        if not name:
+            raise CircuitError("signal name must be a non-empty string")
+        if name in self._gates:
+            raise CircuitError(f"signal {name!r} is already defined")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Primary input names, in declaration order."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        """Primary output names, in declaration order."""
+        return tuple(self._outputs)
+
+    def gate(self, name: str) -> Gate:
+        """The gate driving signal ``name`` (raises if unknown)."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise UnknownGateError(f"no signal named {name!r} in {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._gates
+
+    def __len__(self) -> int:
+        """Total signal count, inputs included."""
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    @property
+    def gate_count(self) -> int:
+        """Number of logic gates (primary inputs excluded)."""
+        return len(self._gates) - len(self._inputs)
+
+    def gates(self) -> Iterator[Gate]:
+        """Iterate over logic gates only (primary inputs excluded)."""
+        return (g for g in self._gates.values() if not g.is_input)
+
+    def signal_names(self) -> tuple[str, ...]:
+        return tuple(self._gates)
+
+    def is_output(self, name: str) -> bool:
+        return name in self._output_set()
+
+    def _output_set(self) -> frozenset[str]:
+        cached = self._cache.get("output_set")
+        if cached is None:
+            cached = frozenset(self._outputs)
+            self._cache["output_set"] = cached
+        return cached  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def fanouts(self, name: str) -> tuple[str, ...]:
+        """Names of the gates that read signal ``name``."""
+        return self._fanout_map().get(name, ())
+
+    def _fanout_map(self) -> dict[str, tuple[str, ...]]:
+        cached = self._cache.get("fanouts")
+        if cached is None:
+            builder: dict[str, list[str]] = {name: [] for name in self._gates}
+            for gate in self._gates.values():
+                for fanin in gate.fanins:
+                    if fanin not in self._gates:
+                        raise UnknownGateError(
+                            f"gate {gate.name!r} reads undefined signal {fanin!r}"
+                        )
+                    builder[fanin].append(gate.name)
+            cached = {name: tuple(outs) for name, outs in builder.items()}
+            self._cache["fanouts"] = cached
+        return cached  # type: ignore[return-value]
+
+    def topological_order(self) -> tuple[str, ...]:
+        """All signal names in topological order (inputs first).
+
+        Raises :class:`CircuitCycleError` if the netlist has a cycle.
+        """
+        cached = self._cache.get("topo")
+        if cached is None:
+            indegree = {name: gate.fanin_count for name, gate in self._gates.items()}
+            ready = deque(name for name, degree in indegree.items() if degree == 0)
+            order: list[str] = []
+            fanout_map = self._fanout_map()
+            while ready:
+                name = ready.popleft()
+                order.append(name)
+                for successor in fanout_map[name]:
+                    indegree[successor] -= 1
+                    if indegree[successor] == 0:
+                        ready.append(successor)
+            if len(order) != len(self._gates):
+                stuck = sorted(n for n, d in indegree.items() if d > 0)
+                raise CircuitCycleError(
+                    f"circuit {self.name!r} has a combinational cycle through "
+                    f"{stuck[:5]}{'...' if len(stuck) > 5 else ''}"
+                )
+            cached = tuple(order)
+            self._cache["topo"] = cached
+        return cached  # type: ignore[return-value]
+
+    def reverse_topological_order(self) -> tuple[str, ...]:
+        """All signal names from primary outputs back to inputs."""
+        return tuple(reversed(self.topological_order()))
+
+    def levels(self) -> dict[str, int]:
+        """Logic level of each signal (inputs are level 0)."""
+        cached = self._cache.get("levels")
+        if cached is None:
+            level: dict[str, int] = {}
+            for name in self.topological_order():
+                gate = self._gates[name]
+                if gate.is_input:
+                    level[name] = 0
+                else:
+                    level[name] = 1 + max(level[f] for f in gate.fanins)
+            cached = level
+            self._cache["levels"] = cached
+        return dict(cached)  # type: ignore[arg-type]
+
+    def depth(self) -> int:
+        """Maximum logic level over all signals (0 for input-only nets)."""
+        level = self.levels()
+        return max(level.values(), default=0)
+
+    def levels_from_outputs(self) -> dict[str, int]:
+        """Distance (in gates) from each signal to the nearest PO it feeds.
+
+        Signals that reach no primary output get level ``-1``.  Used by
+        the Fig-3 experiment, which plots nodes at most five levels deep
+        from the POs.
+        """
+        cached = self._cache.get("levels_from_outputs")
+        if cached is None:
+            distance: dict[str, int] = {}
+            fanout_map = self._fanout_map()
+            for name in self.reverse_topological_order():
+                best = 0 if self.is_output(name) else None
+                for successor in fanout_map[name]:
+                    downstream = distance[successor]
+                    if downstream >= 0:
+                        candidate = downstream + 1
+                        if best is None or candidate < best:
+                            best = candidate
+                distance[name] = -1 if best is None else best
+            cached = distance
+            self._cache["levels_from_outputs"] = cached
+        return dict(cached)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Cones
+    # ------------------------------------------------------------------
+
+    def fanin_cone(self, name: str) -> frozenset[str]:
+        """All signals (including ``name``) that can reach signal ``name``."""
+        return self._cone(name, lambda n: self._gates[n].fanins)
+
+    def fanout_cone(self, name: str) -> frozenset[str]:
+        """All signals (including ``name``) reachable from signal ``name``."""
+        fanout_map = self._fanout_map()
+        return self._cone(name, lambda n: fanout_map[n])
+
+    def _cone(self, name: str, neighbours: Callable[[str], Iterable[str]]) -> frozenset[str]:
+        self.gate(name)  # validate existence
+        seen = {name}
+        frontier = deque([name])
+        while frontier:
+            current = frontier.popleft()
+            for nxt in neighbours(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def observable_outputs(self, name: str) -> tuple[str, ...]:
+        """Primary outputs structurally reachable from signal ``name``."""
+        cone = self.fanout_cone(name)
+        return tuple(out for out in self._outputs if out in cone)
+
+    # ------------------------------------------------------------------
+    # Validation and summaries
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raises a :class:`CircuitError` subclass.
+
+        Verified properties: every fan-in exists, the graph is acyclic,
+        every declared output exists, and there is at least one input
+        and one output.
+        """
+        if not self._inputs:
+            raise CircuitError(f"circuit {self.name!r} has no primary inputs")
+        if not self._outputs:
+            raise CircuitError(f"circuit {self.name!r} has no primary outputs")
+        for out in self._outputs:
+            if out not in self._gates:
+                raise UnknownGateError(f"declared output {out!r} is not defined")
+        self._fanout_map()  # raises on dangling fan-ins
+        self.topological_order()  # raises on cycles
+
+    def dangling_signals(self) -> tuple[str, ...]:
+        """Signals that feed no gate and are not primary outputs."""
+        fanout_map = self._fanout_map()
+        out_set = self._output_set()
+        return tuple(
+            name
+            for name in self._gates
+            if not fanout_map[name] and name not in out_set
+        )
+
+    def gate_type_counts(self) -> dict[GateType, int]:
+        """Histogram of gate types (primary inputs excluded)."""
+        counts: dict[GateType, int] = {}
+        for gate in self.gates():
+            counts[gate.gtype] = counts.get(gate.gtype, 0) + 1
+        return counts
+
+    def stats(self) -> dict[str, int]:
+        """Summary statistics used by tests and the benchmark registry."""
+        return {
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "gates": self.gate_count,
+            "depth": self.depth(),
+        }
+
+    def copy(self, name: str | None = None) -> "Circuit":
+        """Structural deep copy (gates are immutable and shared)."""
+        duplicate = Circuit(name or self.name)
+        duplicate._gates = dict(self._gates)
+        duplicate._inputs = list(self._inputs)
+        duplicate._outputs = list(self._outputs)
+        return duplicate
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, gates={self.gate_count})"
+        )

@@ -1,0 +1,170 @@
+"""Path machinery: counting, enumeration, uniform sampling, topology matrix.
+
+SERTOPT (paper Section 4) represents circuit timing with a binary
+topology matrix ``T`` — ``T[j, i] = 1`` when gate ``i`` lies on path
+``j`` — and restricts delay perturbations to the nullspace of ``T``.
+Real circuits have astronomically many paths, so this module provides,
+besides exact counting and bounded enumeration:
+
+* *uniform* path sampling, using downstream path counts as walk weights
+  (each PI-to-PO path is drawn with equal probability, using exact
+  integer arithmetic so the weights stay valid for path counts far
+  beyond float range);
+* construction of ``T`` from any collection of paths.
+
+A *path* is the tuple of logic-gate names from a gate fed by a primary
+input through to a primary-output gate; primary inputs carry no delay
+and are excluded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+Path = tuple[str, ...]
+
+
+def downstream_path_counts(circuit: Circuit) -> dict[str, int]:
+    """For each signal, the number of distinct paths to any primary output.
+
+    A primary output contributes one terminating path at itself and may
+    continue through its fanouts to other outputs (exactly how timing
+    paths to latches are counted).
+    """
+    counts: dict[str, int] = {}
+    for name in circuit.reverse_topological_order():
+        total = 1 if circuit.is_output(name) else 0
+        for successor in circuit.fanouts(name):
+            total += counts[successor]
+        counts[name] = total
+    return counts
+
+
+def count_paths(circuit: Circuit) -> int:
+    """Exact number of PI-to-PO paths (may be astronomically large)."""
+    counts = downstream_path_counts(circuit)
+    return sum(counts[name] for name in circuit.inputs)
+
+
+def enumerate_paths(circuit: Circuit, limit: int | None = None) -> Iterator[Path]:
+    """Yield paths (gate-name tuples) in DFS order, up to ``limit``."""
+    produced = 0
+    for start in circuit.inputs:
+        stack: list[tuple[str, tuple[str, ...]]] = [(start, ())]
+        while stack:
+            name, prefix = stack.pop()
+            gate_path = prefix if circuit.gate(name).is_input else prefix + (name,)
+            if circuit.is_output(name) and gate_path:
+                yield gate_path
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+            for successor in reversed(circuit.fanouts(name)):
+                stack.append((successor, gate_path))
+
+
+def sample_paths(circuit: Circuit, count: int, seed: int = 0) -> list[Path]:
+    """Draw ``count`` paths uniformly at random (with replacement, then
+    de-duplicated, so the result may be shorter than ``count``)."""
+    if count < 1:
+        raise CircuitError("sample_paths needs count >= 1")
+    counts = downstream_path_counts(circuit)
+    inputs = [name for name in circuit.inputs if counts[name] > 0]
+    if not inputs:
+        raise CircuitError(f"circuit {circuit.name!r} has no PI-to-PO paths")
+    input_weights = [counts[name] for name in inputs]
+    total = sum(input_weights)
+    rng = random.Random(seed)
+
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for __ in range(count):
+        path = _walk_one(circuit, counts, inputs, input_weights, total, rng)
+        if path not in seen:
+            seen.add(path)
+            ordered.append(path)
+    return ordered
+
+
+def _walk_one(
+    circuit: Circuit,
+    counts: dict[str, int],
+    inputs: list[str],
+    input_weights: list[int],
+    total: int,
+    rng: random.Random,
+) -> Path:
+    """One weighted random walk producing a uniformly-distributed path."""
+    pick = rng.randrange(total)
+    current = inputs[-1]
+    for name, weight in zip(inputs, input_weights):
+        if pick < weight:
+            current = name
+            break
+        pick -= weight
+
+    gates: list[str] = []
+    while True:
+        if not circuit.gate(current).is_input:
+            gates.append(current)
+        terminate_weight = 1 if circuit.is_output(current) else 0
+        draw = rng.randrange(counts[current])
+        if draw < terminate_weight:
+            return tuple(gates)
+        draw -= terminate_weight
+        for successor in circuit.fanouts(current):
+            weight = counts[successor]
+            if draw < weight:
+                current = successor
+                break
+            draw -= weight
+
+
+def collect_paths(
+    circuit: Circuit,
+    max_paths: int = 2000,
+    seed: int = 0,
+    extra: Iterable[Path] = (),
+) -> list[Path]:
+    """Paths for the topology matrix: exhaustive when small, sampled otherwise.
+
+    ``extra`` paths (e.g. the critical path from STA) are always included
+    and de-duplicated against the rest.
+    """
+    if max_paths < 1:
+        raise CircuitError("collect_paths needs max_paths >= 1")
+    total = count_paths(circuit)
+    if total <= max_paths:
+        paths = list(enumerate_paths(circuit))
+    else:
+        paths = sample_paths(circuit, max_paths, seed=seed)
+    seen = set(paths)
+    for path in extra:
+        if path not in seen:
+            seen.add(path)
+            paths.append(path)
+    return paths
+
+
+def topology_matrix(
+    paths: Sequence[Path], gate_order: Sequence[str]
+) -> np.ndarray:
+    """Binary matrix T with ``T[j, i] = 1`` iff gate ``gate_order[i]`` is
+    on ``paths[j]`` (paper Section 4)."""
+    index = {name: i for i, name in enumerate(gate_order)}
+    matrix = np.zeros((len(paths), len(gate_order)), dtype=np.float64)
+    for row, path in enumerate(paths):
+        for name in path:
+            column = index.get(name)
+            if column is None:
+                raise CircuitError(
+                    f"path gate {name!r} missing from gate_order"
+                )
+            matrix[row, column] = 1.0
+    return matrix

@@ -1,0 +1,64 @@
+"""Structural Verilog export for interoperability with external flows.
+
+Only the writer is provided: this library's native interchange format is
+``.bench`` (:mod:`repro.circuit.bench_io`); the Verilog writer exists so
+optimized netlists can be handed to external EDA tools.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+
+_PRIMITIVE = {
+    GateType.BUF: "buf",
+    GateType.NOT: "not",
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-legal identifier (escaped identifier when necessary)."""
+    if _IDENT_RE.match(name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Render ``circuit`` as a structural Verilog module."""
+    ports = [_escape(n) for n in circuit.inputs] + [
+        _escape(n) for n in circuit.outputs
+    ]
+    lines = [f"module {_escape(circuit.name)} ({', '.join(ports)});"]
+    lines.extend(f"  input {_escape(name)};" for name in circuit.inputs)
+    lines.extend(f"  output {_escape(name)};" for name in circuit.outputs)
+    wires = [
+        name
+        for name in circuit.topological_order()
+        if not circuit.gate(name).is_input and not circuit.is_output(name)
+    ]
+    lines.extend(f"  wire {_escape(name)};" for name in wires)
+    for index, name in enumerate(circuit.topological_order()):
+        gate = circuit.gate(name)
+        if gate.is_input:
+            continue
+        primitive = _PRIMITIVE[gate.gtype]
+        terminals = ", ".join([_escape(name)] + [_escape(f) for f in gate.fanins])
+        lines.append(f"  {primitive} u{index} ({terminals});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(circuit: Circuit, path: str | Path) -> None:
+    """Write ``circuit`` to ``path`` as structural Verilog."""
+    Path(path).write_text(write_verilog(circuit))

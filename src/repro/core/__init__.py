@@ -1,0 +1,26 @@
+"""The paper's contributions: ASERTA (analysis) and SERTOPT (optimization).
+
+* :class:`repro.core.aserta.AsertaAnalyzer` — Section 3: glitch
+  generation from look-up tables, logical masking from sensitization
+  probabilities, electrical masking via a one-pass reverse-topological
+  propagation of sample glitch widths, latching-window masking by
+  width-proportional capture, summed into the circuit "unreliability".
+* :class:`repro.core.sertopt.Sertopt` — Section 4: delay-assignment
+  variation in the nullspace of the path topology matrix, matched to a
+  discrete cell library in reverse topological order, minimizing the
+  weighted unreliability/delay/energy/area cost (Equation 5).
+"""
+
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig, AsertaReport
+from repro.core.sertopt import Sertopt, SertoptConfig, SertoptResult
+from repro.core.baseline import size_for_speed
+
+__all__ = [
+    "AsertaAnalyzer",
+    "AsertaConfig",
+    "AsertaReport",
+    "Sertopt",
+    "SertoptConfig",
+    "SertoptResult",
+    "size_for_speed",
+]

@@ -1,0 +1,169 @@
+"""ASERTA: Accurate Soft-ERror Tolerance Analysis (paper Section 3).
+
+The analyzer is split along the paper's own seams:
+
+* the *structural* ingredients — static probabilities ``p_i`` and
+  sensitized-path probabilities ``P_ij`` — depend only on the netlist
+  and are computed once per circuit (``AsertaAnalyzer.__init__``);
+* the *electrical* ingredients — generated glitch widths, delays,
+  the expected-width propagation — depend on the parameter assignment
+  and are recomputed by every :meth:`AsertaAnalyzer.analyze` call,
+  which is what SERTOPT invokes in its inner loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.core.electrical_masking import (
+    ElectricalMaskingResult,
+    default_sample_widths,
+    electrical_masking,
+)
+from repro.core.unreliability import UnreliabilityReport, build_report
+from repro.errors import AnalysisError
+from repro.logicsim.bitsim import BitParallelSimulator
+from repro.logicsim.probability import static_probabilities
+from repro.logicsim.sensitization import sensitization_probabilities
+from repro.tech import constants as k
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.library import ParameterAssignment
+from repro.tech.table_builder import TechnologyTables, default_tables
+
+
+@dataclass(frozen=True)
+class AsertaConfig:
+    """Knobs of the analysis (paper defaults)."""
+
+    #: Random vectors for the P_ij estimate (paper: 10 000, as in [5]).
+    n_vectors: int = 10000
+    #: Seed for the random vectors.
+    seed: int = 0
+    #: Number of sample glitch widths in the electrical-masking pass
+    #: (paper: 10).
+    n_sample_widths: int = 10
+    #: Injected charge per strike, fC (paper: fixed; 16 fC in Fig 1).
+    charge_fc: float = k.DEFAULT_CHARGE_FC
+    #: Static probability assumed at every primary input (paper: 0.5).
+    input_probability: float = 0.5
+    #: Route electrical queries through the interpolated look-up tables
+    #: (the ASERTA architecture); False evaluates the continuous model.
+    use_tables: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_vectors < 1:
+            raise AnalysisError(f"n_vectors must be >= 1, got {self.n_vectors}")
+        if self.n_sample_widths < 2:
+            raise AnalysisError(
+                f"n_sample_widths must be >= 2, got {self.n_sample_widths}"
+            )
+        if self.charge_fc < 0.0:
+            raise AnalysisError(f"charge_fc must be >= 0, got {self.charge_fc}")
+        if not 0.0 <= self.input_probability <= 1.0:
+            raise AnalysisError(
+                f"input_probability must be in [0, 1], got {self.input_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class AsertaReport:
+    """Everything one ASERTA run produces."""
+
+    unreliability: UnreliabilityReport
+    masking: ElectricalMaskingResult
+    electrical: CircuitElectrical
+    runtime_s: float
+
+    @property
+    def total(self) -> float:
+        return self.unreliability.total
+
+
+class AsertaAnalyzer:
+    """Reusable analyzer bound to one circuit.
+
+    Construction performs the structure-only work (10 000-vector
+    sensitization simulation, static probabilities); each
+    :meth:`analyze` evaluates one parameter assignment.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: AsertaConfig | None = None,
+        tables: TechnologyTables | None = None,
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.config = config if config is not None else AsertaConfig()
+        self.tables = tables if tables is not None else default_tables()
+        self.simulator = BitParallelSimulator(circuit)
+        self.probabilities = static_probabilities(
+            circuit, self.config.input_probability
+        )
+        self.sensitized_paths = sensitization_probabilities(
+            circuit,
+            n_vectors=self.config.n_vectors,
+            seed=self.config.seed,
+            simulator=self.simulator,
+        )
+
+    def electrical_view(
+        self,
+        assignment: ParameterAssignment,
+        charge_fc: float | None = None,
+    ) -> CircuitElectrical:
+        """The annotated electrical state for ``assignment``.
+
+        ``charge_fc`` overrides the configured injected charge (used by
+        the charge-sweep extension without re-estimating P_ij).
+        """
+        return CircuitElectrical(
+            self.circuit,
+            assignment,
+            tables=self.tables,
+            use_tables=self.config.use_tables,
+            charge_fc=self.config.charge_fc if charge_fc is None else charge_fc,
+        )
+
+    def analyze(
+        self,
+        assignment: ParameterAssignment | None = None,
+        sample_widths: np.ndarray | None = None,
+        charge_fc: float | None = None,
+    ) -> AsertaReport:
+        """Estimate circuit unreliability under ``assignment``."""
+        started = time.perf_counter()
+        assignment = assignment if assignment is not None else ParameterAssignment()
+        elec = self.electrical_view(assignment, charge_fc=charge_fc)
+        if sample_widths is None:
+            sample_widths = default_sample_widths(
+                elec, self.config.n_sample_widths
+            )
+        masking = electrical_masking(
+            self.circuit,
+            elec,
+            self.probabilities,
+            self.sensitized_paths,
+            sample_widths,
+        )
+        sizes = {
+            gate.name: assignment[gate.name].size for gate in self.circuit.gates()
+        }
+        report = build_report(
+            self.circuit.name,
+            generated_widths=elec.generated_width_ps,
+            sizes=sizes,
+            expected=masking.expected,
+        )
+        runtime = time.perf_counter() - started
+        return AsertaReport(
+            unreliability=report,
+            masking=masking,
+            electrical=elec,
+            runtime_s=runtime,
+        )

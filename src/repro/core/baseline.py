@@ -1,0 +1,61 @@
+"""Timing-driven baseline sizing (the paper's starting point).
+
+The paper's Table-1 baselines are ISCAS'85 circuits "optimized for speed
+using Synopsys Design Compiler", then fixed at L = 70 nm, VDD = 1 V,
+Vth = 0.2 V.  :func:`size_for_speed` reproduces that starting point with
+a greedy critical-path sizing loop: repeatedly upsize the gates on the
+critical path (which shortens their own delay at the cost of loading
+their predecessors) until the circuit delay stops improving or the size
+menu is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.circuit.netlist import Circuit
+from repro.sta.timing import analyze_timing, critical_path
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.library import CellLibrary, CellParams, NOMINAL_CELL, ParameterAssignment
+from repro.tech.table_builder import TechnologyTables
+
+
+def size_for_speed(
+    circuit: Circuit,
+    library: CellLibrary | None = None,
+    tables: TechnologyTables | None = None,
+    max_rounds: int = 12,
+) -> ParameterAssignment:
+    """Greedy speed-oriented sizing at the nominal operating point.
+
+    Only gate *size* varies (like the paper's baseline); channel length,
+    VDD and Vth stay at the nominal cell's values.  Returns the
+    resulting assignment.
+    """
+    sizes = sorted(library.sizes) if library is not None else [0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
+    assignment = ParameterAssignment(default=NOMINAL_CELL)
+
+    def circuit_delay(asg: ParameterAssignment) -> float:
+        elec = CircuitElectrical(circuit, asg, tables=tables, use_tables=False)
+        return analyze_timing(circuit, elec.delay_ps).delay_ps
+
+    best_delay = circuit_delay(assignment)
+    for __ in range(max_rounds):
+        elec = CircuitElectrical(circuit, assignment, tables=tables, use_tables=False)
+        path = critical_path(circuit, elec.delay_ps)
+        candidate = assignment.copy()
+        changed = False
+        for name in path:
+            current = candidate[name]
+            larger = [s for s in sizes if s > current.size]
+            if larger:
+                candidate.set(name, replace(current, size=larger[0]))
+                changed = True
+        if not changed:
+            break
+        new_delay = circuit_delay(candidate)
+        if new_delay >= best_delay:
+            break
+        best_delay = new_delay
+        assignment = candidate
+    return assignment

@@ -1,0 +1,161 @@
+"""Electrical masking: the reverse-topological expected-width pass.
+
+This is the paper's Section 3.2 algorithm, verbatim:
+
+1. choose ``k`` sample glitch widths ``ws_k`` (the paper uses 10);
+2. walk the circuit from primary outputs back to inputs, computing for
+   every gate ``i`` the expected width ``WS_ijk`` that a glitch of width
+   ``ws_k`` *at i's output* would have on arrival at primary output
+   ``j``:
+
+   * a PO gate maps every sample to itself (``WS_jjk = ws_k``) and, as
+     the paper specifies, contributes nothing to other outputs;
+   * an internal gate attenuates each sample through each successor
+     ``s`` (Equation 1 with ``s``'s delay), looks up the successor's
+     expected width by linear interpolation, and combines successors
+     with the Equation-2 shares ``pi_isj``;
+
+3. the expected width ``W_ij`` for the *generated* glitch ``w_i`` is
+   interpolated out of the same table.
+
+One pass costs ``O((V + E) * k * |outputs|)``; Lemma 1 (wide glitches
+arrive with expected width ``w * P_ij``) holds by construction and is
+property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.core.masking import propagation_shares, sensitization_to_input
+from repro.errors import AnalysisError
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.glitch import propagate_width_array
+
+
+@dataclass(frozen=True)
+class ElectricalMaskingResult:
+    """Expected output glitch widths for one circuit + assignment."""
+
+    #: The k sample widths ``ws_k`` (ascending, ps).
+    sample_widths: np.ndarray
+    #: ``tables[i][j]`` is the length-k array ``WS_ijk``.
+    tables: dict[str, dict[str, np.ndarray]]
+    #: ``expected[i][j]`` is ``W_ij`` — expected width at output j for
+    #: the strike-generated glitch at gate i.
+    expected: dict[str, dict[str, float]]
+
+    def expected_width(self, gate_name: str, output_name: str) -> float:
+        return self.expected.get(gate_name, {}).get(output_name, 0.0)
+
+
+def default_sample_widths(
+    elec: CircuitElectrical, n_samples: int = 10
+) -> np.ndarray:
+    """Sample widths spanning "fully masked" to "propagates everywhere".
+
+    The top sample exceeds twice the largest gate delay and the largest
+    generated width, so it traverses any gate unattenuated (the Lemma-1
+    regime); the bottom sample sits below the smallest delay.  Points
+    are geometrically spaced, concentrating resolution where Equation 1
+    is nonlinear.
+    """
+    if n_samples < 2:
+        raise AnalysisError(f"need at least 2 sample widths, got {n_samples}")
+    delays = [d for d in elec.delay_ps.values() if d > 0.0]
+    widths = [w for w in elec.generated_width_ps.values()]
+    if not delays:
+        raise AnalysisError("circuit has no gates with positive delay")
+    low = max(min(delays) * 0.5, 1e-3)
+    high = max(2.2 * max(delays), 1.1 * max(widths, default=0.0), low * 4.0)
+    return np.geomspace(low, high, n_samples)
+
+
+def electrical_masking(
+    circuit: Circuit,
+    elec: CircuitElectrical,
+    probabilities: Mapping[str, float],
+    sensitized_paths: Mapping[str, Mapping[str, float]],
+    sample_widths: np.ndarray | None = None,
+) -> ElectricalMaskingResult:
+    """Run the Section-3.2 pass; see the module docstring."""
+    samples = (
+        default_sample_widths(elec) if sample_widths is None
+        else np.asarray(sample_widths, dtype=np.float64)
+    )
+    if samples.ndim != 1 or samples.size < 2 or np.any(np.diff(samples) <= 0.0):
+        raise AnalysisError("sample widths must be a strictly increasing 1-D array")
+
+    tables: dict[str, dict[str, np.ndarray]] = {}
+    expected: dict[str, dict[str, float]] = {}
+    # Interpolations are anchored at (0, 0): a vanished glitch has zero
+    # expected width (plain np.interp would clamp sub-sample queries up
+    # to the smallest sample's value).
+    anchored_x = np.concatenate(([0.0], samples))
+
+    def interp_anchored(query, table: np.ndarray):
+        return np.interp(query, anchored_x, np.concatenate(([0.0], table)))
+
+    for name in circuit.reverse_topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            continue
+
+        if circuit.is_output(name):
+            # Step (ii): a PO gate presents samples (and its own generated
+            # glitch) directly to its latch, and nothing to other latches.
+            tables[name] = {name: samples.copy()}
+            expected[name] = {name: float(elec.generated_width_ps[name])}
+            continue
+
+        # Step (iii): attenuate each sample through each successor, look
+        # up the successor's expected widths, combine with pi_isj.
+        row = sensitized_paths.get(name, {})
+        table_row: dict[str, np.ndarray] = {}
+        attenuated: dict[str, np.ndarray] = {}
+        interp_cache: dict[tuple[str, str], np.ndarray] = {}
+        for output_name, p_ij in row.items():
+            if p_ij <= 0.0:
+                continue
+            shares = propagation_shares(
+                circuit, probabilities, sensitized_paths, name, output_name
+            )
+            if not shares:
+                continue
+            accumulated = np.zeros_like(samples)
+            for successor, share in shares.items():
+                key = (successor, output_name)
+                contribution = interp_cache.get(key)
+                if contribution is None:
+                    successor_table = tables.get(successor, {}).get(output_name)
+                    if successor_table is None:
+                        contribution = np.zeros_like(samples)
+                    else:
+                        widths_out = attenuated.get(successor)
+                        if widths_out is None:
+                            delay = elec.delay_ps[successor]
+                            widths_out = propagate_width_array(samples, delay)
+                            attenuated[successor] = widths_out
+                        contribution = interp_anchored(
+                            widths_out, successor_table
+                        )
+                    interp_cache[key] = contribution
+                accumulated += share * contribution
+            if accumulated.any():
+                table_row[output_name] = accumulated
+        tables[name] = table_row
+
+        # Step (iv): expected widths for this gate's generated glitch.
+        generated = float(elec.generated_width_ps[name])
+        expected[name] = {
+            output_name: float(interp_anchored(generated, table))
+            for output_name, table in table_row.items()
+        }
+
+    return ElectricalMaskingResult(
+        sample_widths=samples, tables=tables, expected=expected
+    )

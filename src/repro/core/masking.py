@@ -1,0 +1,109 @@
+"""Logical-masking mathematics (paper Section 3.1, Equation 2).
+
+``S_is`` — probability that gate ``s`` is *sensitized* to its fan-in
+``i``: every other fan-in holds its non-controlling value (1 for
+AND/NAND, 0 for OR/NOR; XOR-class and single-input gates always
+propagate).
+
+``pi_isj`` — the share of gate ``i``'s glitch routed through successor
+``s`` on the way to output ``j``::
+
+    pi_isj = S_is * P_ij / sum_k S_ik * P_kj        (k over successors of i)
+
+chosen, as the paper requires, so that ``sum_s pi_isj * P_sj = P_ij``
+(the normalization Lemma 1 relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+#: Denominators smaller than this are treated as "no sensitizable route".
+_EPSILON = 1e-12
+
+
+def sensitization_to_input(
+    circuit: Circuit,
+    probabilities: Mapping[str, float],
+    fanin_name: str,
+    gate_name: str,
+) -> float:
+    """``S_is``: probability that ``gate_name`` passes a glitch arriving
+    on ``fanin_name``."""
+    gate = circuit.gate(gate_name)
+    if fanin_name not in gate.fanins:
+        raise AnalysisError(
+            f"{fanin_name!r} is not a fan-in of {gate_name!r}"
+        )
+    if gate.gtype in (GateType.BUF, GateType.NOT, GateType.XOR, GateType.XNOR):
+        return 1.0
+    product = 1.0
+    for other in gate.fanins:
+        if other == fanin_name:
+            continue
+        p_one = probabilities[other]
+        if gate.gtype in (GateType.AND, GateType.NAND):
+            product *= p_one
+        else:  # OR / NOR: non-controlling value is 0
+            product *= 1.0 - p_one
+    return product
+
+
+def propagation_shares(
+    circuit: Circuit,
+    probabilities: Mapping[str, float],
+    sensitized_paths: Mapping[str, Mapping[str, float]],
+    gate_name: str,
+    output_name: str,
+) -> dict[str, float]:
+    """``pi_isj`` for every successor ``s`` of ``gate_name`` (Equation 2).
+
+    Returns an empty mapping when the gate cannot reach the output
+    (``P_ij = 0``) or no successor offers a sensitizable route.
+    """
+    p_ij = sensitized_paths.get(gate_name, {}).get(output_name, 0.0)
+    if p_ij <= 0.0:
+        return {}
+    successors = circuit.fanouts(gate_name)
+    weights: dict[str, float] = {}
+    denominator = 0.0
+    for successor in successors:
+        s_is = sensitization_to_input(circuit, probabilities, gate_name, successor)
+        p_sj = sensitized_paths.get(successor, {}).get(output_name, 0.0)
+        weight = s_is * p_sj
+        if weight > 0.0:
+            weights[successor] = s_is
+            denominator += weight
+    if denominator <= _EPSILON:
+        return {}
+    return {
+        successor: s_is * p_ij / denominator
+        for successor, s_is in weights.items()
+    }
+
+
+def verify_share_identity(
+    circuit: Circuit,
+    probabilities: Mapping[str, float],
+    sensitized_paths: Mapping[str, Mapping[str, float]],
+    gate_name: str,
+    output_name: str,
+) -> tuple[float, float]:
+    """Returns ``(sum_s pi_isj * P_sj, P_ij)`` — equal by construction.
+
+    Exposed for the property-based tests of the Equation-2 identity the
+    paper states ("pi_isj should have the property that
+    sum_k pi_ikj P_kj = P_ij").
+    """
+    shares = propagation_shares(
+        circuit, probabilities, sensitized_paths, gate_name, output_name
+    )
+    total = 0.0
+    for successor, share in shares.items():
+        total += share * sensitized_paths.get(successor, {}).get(output_name, 0.0)
+    p_ij = sensitized_paths.get(gate_name, {}).get(output_name, 0.0)
+    return total, p_ij

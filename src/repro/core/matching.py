@@ -1,0 +1,250 @@
+"""Delay-assignment to cell-library matching (paper Section 4).
+
+SERTOPT's optimizer works on a continuous delay vector; this module
+realizes a delay assignment with actual cells.  Exactly as the paper
+describes, the circuit is traversed from primary outputs to primary
+inputs: PO loads are fixed (the latch), so PO gates are matched first;
+once a gate's cell is chosen its input capacitance is known, which fixes
+its predecessors' loads, and so on.  The only constraint is the
+no-level-shifter rule: a gate's VDD must be >= every successor's VDD.
+
+Matching is vectorized: for each (gate type, fan-in) the engine
+precomputes per-cell drive slopes and capacitances, so evaluating the
+whole library for one gate is a handful of numpy operations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import OptimizationError
+from repro.sta.timing import analyze_timing
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech import constants as k
+from repro.tech import gate_electrical as ge
+from repro.tech.library import CellLibrary, CellParams, ParameterAssignment
+from repro.units import PS_PER_FF_V_PER_UA
+
+
+class _CellArrays:
+    """Per-(gate type, fan-in) vectorized cell characterization."""
+
+    def __init__(self, gtype: GateType, fanin: int, cells: tuple[CellParams, ...]):
+        self.cells = cells
+        n = len(cells)
+        self.slope = np.empty(n)       # ps per fF of output capacitance
+        self.self_cap = np.empty(n)    # fF
+        self.input_cap = np.empty(n)   # fF per pin
+        self.vdd = np.empty(n)
+        self.leak_uw = np.empty(n)
+        self.area = np.empty(n)
+        for idx, cell in enumerate(cells):
+            current = ge.drive_current_ua(
+                gtype, fanin, cell.size, cell.length_nm, cell.vdd, cell.vth
+            )
+            self.slope[idx] = PS_PER_FF_V_PER_UA * cell.vdd / (2.0 * current)
+            self.self_cap[idx] = ge.self_capacitance_ff(gtype, fanin, cell.size)
+            self.input_cap[idx] = ge.input_capacitance_ff(
+                gtype, fanin, cell.size, cell.length_nm
+            )
+            self.vdd[idx] = cell.vdd
+            self.leak_uw[idx] = ge.static_power_uw(
+                gtype, fanin, cell.size, cell.length_nm, cell.vdd, cell.vth
+            )
+            self.area[idx] = ge.area_units(gtype, fanin, cell.size, cell.length_nm)
+
+    def delays_ps(self, load_ff: float, ramp_ps: float) -> np.ndarray:
+        """Delay of every cell at this load and input ramp."""
+        return (
+            self.slope * (self.self_cap + load_ff)
+            + k.RAMP_DELAY_FRACTION * ramp_ps
+        )
+
+
+class MatchingEngine:
+    """Matches delay assignments onto a discrete cell library."""
+
+    def __init__(self, circuit: Circuit, library: CellLibrary) -> None:
+        self.circuit = circuit
+        self.library = library
+        self._arrays: dict[tuple[GateType, int], _CellArrays] = {}
+        self._reverse_order = tuple(
+            name for name in circuit.reverse_topological_order()
+            if not circuit.gate(name).is_input
+        )
+
+    def _cell_arrays(self, gtype: GateType, fanin: int) -> _CellArrays:
+        key = (gtype, fanin)
+        arrays = self._arrays.get(key)
+        if arrays is None:
+            arrays = _CellArrays(gtype, fanin, self.library.cells())
+            self._arrays[key] = arrays
+        return arrays
+
+    def match(
+        self,
+        target_delays: Mapping[str, float],
+        input_ramps: Mapping[str, float],
+        anchor: ParameterAssignment | None = None,
+        energy_weight_ps_per_fj: float = 0.6,
+        area_weight_ps: float = 0.03,
+        leakage_weight_ps_per_uw: float = 5.0,
+        anchor_bonus_ps: float = 0.5,
+    ) -> ParameterAssignment:
+        """Pick, for every gate, the eligible cell whose delay is closest
+        to its target.
+
+        ``input_ramps`` supplies the expected input transition time per
+        gate (the baseline circuit's ramps are a good estimate — ramps
+        only contribute a small additive delay term).
+
+        The score is the delay error in ps plus small, explicitly-priced
+        frugality terms (switching-energy proxy, area, leakage), so that
+        among cells within a picosecond or two of the target the cheaper
+        cell wins — without them a gratuitous 1.2 V pick near a primary
+        output would cascade the VDD-ordering floor over the whole fan-in
+        cone.
+
+        ``anchor`` (typically the baseline assignment) receives a score
+        bonus of ``anchor_bonus_ps``: when the target delay is what the
+        anchor cell already delivers, matching reproduces the anchor
+        instead of wandering across quantization ties, so the
+        zero-perturbation point of SERTOPT's search coincides with the
+        baseline circuit.
+        """
+        assignment, __ = self._match_once(
+            target_delays,
+            input_ramps,
+            anchor,
+            energy_weight_ps_per_fj,
+            area_weight_ps,
+            leakage_weight_ps_per_uw,
+            anchor_bonus_ps,
+        )
+        return assignment
+
+    def match_with_timing(
+        self,
+        target_delays: Mapping[str, float],
+        input_ramps: Mapping[str, float],
+        max_delay_ps: float,
+        anchor: ParameterAssignment | None = None,
+        repair_rounds: int = 3,
+    ) -> ParameterAssignment:
+        """Match, then repair timing against ``max_delay_ps``.
+
+        The delay targets handed to SERTOPT's matcher are timing-neutral
+        by construction, but the *realized* cells overshoot: the slow
+        corner of the library is coarse, and gates asked to speed up may
+        already be at the fastest cell.  Each repair round runs static
+        timing on the realized delays and shrinks the targets of
+        negative-slack gates proportionally, pulling the violating paths
+        back under the constraint while leaving slack regions at their
+        assigned (glitch-absorbing) delays — the iterative form of the
+        paper's "best matching ... that yield delays closest to the
+        assigned delays" under its timing constraint.
+        """
+        if max_delay_ps <= 0.0:
+            raise OptimizationError(f"max_delay_ps must be > 0, got {max_delay_ps}")
+        targets = dict(target_delays)
+        assignment, __ = self._match_once(targets, input_ramps, anchor)
+        for __r in range(repair_rounds):
+            # Repair against the *true* electrical view, not matching's
+            # internal estimate: slow cells also slow their successors
+            # through larger output ramps, which the per-gate estimate
+            # (built on baseline ramps) cannot see.
+            realized = CircuitElectrical(
+                self.circuit, assignment, use_tables=False
+            ).delay_ps
+            report = analyze_timing(self.circuit, realized)
+            if report.delay_ps <= max_delay_ps * 1.001:
+                break
+            scale = max_delay_ps / report.delay_ps
+            adjusted = False
+            for name in realized:
+                slack_vs_cap = (
+                    report.slack_ps(name) + max_delay_ps - report.delay_ps
+                )
+                if slack_vs_cap < 0.0:
+                    shrunk = realized[name] * scale
+                    if shrunk < targets[name]:
+                        targets[name] = shrunk
+                        adjusted = True
+            if not adjusted:
+                break
+            assignment, __ = self._match_once(targets, input_ramps, anchor)
+        return assignment
+
+    def _match_once(
+        self,
+        target_delays: Mapping[str, float],
+        input_ramps: Mapping[str, float],
+        anchor: ParameterAssignment | None = None,
+        energy_weight_ps_per_fj: float = 0.6,
+        area_weight_ps: float = 0.03,
+        leakage_weight_ps_per_uw: float = 5.0,
+        anchor_bonus_ps: float = 0.5,
+    ) -> tuple[ParameterAssignment, dict[str, float]]:
+        """One reverse-topological matching pass.
+
+        Returns the assignment and the *realized* per-gate delays under
+        the final loads (consistent because successors are fixed before
+        their predecessors are matched).
+        """
+        assignment = ParameterAssignment()
+        realized: dict[str, float] = {}
+        chosen_input_cap: dict[str, float] = {}
+        chosen_vdd: dict[str, float] = {}
+
+        for name in self._reverse_order:
+            gate = self.circuit.gate(name)
+            target = target_delays.get(name)
+            if target is None:
+                raise OptimizationError(f"no target delay for gate {name!r}")
+
+            fanouts = self.circuit.fanouts(name)
+            load = k.WIRE_CAP_PER_FANOUT_FF * max(1, len(fanouts))
+            vdd_floor = 0.0
+            for successor in fanouts:
+                load += chosen_input_cap[successor]
+                vdd_floor = max(vdd_floor, chosen_vdd[successor])
+            if self.circuit.is_output(name):
+                load += k.LATCH_CAP_FF
+
+            arrays = self._cell_arrays(gate.gtype, gate.fanin_count)
+            ramp = float(input_ramps.get(name, k.PRIMARY_INPUT_RAMP_PS))
+            delays = arrays.delays_ps(load, ramp)
+            eligible = arrays.vdd >= vdd_floor - 1e-12
+            if not np.any(eligible):
+                raise OptimizationError(
+                    f"no library cell satisfies VDD >= {vdd_floor} for "
+                    f"gate {name!r}; extend the library's VDD menu"
+                )
+            error = np.abs(delays - float(target))
+            dynamic_proxy = (arrays.self_cap + arrays.input_cap) * arrays.vdd**2
+            frugality = (
+                energy_weight_ps_per_fj * dynamic_proxy
+                + area_weight_ps * arrays.area
+                + leakage_weight_ps_per_uw * arrays.leak_uw
+            )
+            score = np.where(eligible, error + frugality, np.inf)
+            if anchor is not None:
+                anchor_cell = anchor[name]
+                try:
+                    anchor_index = arrays.cells.index(anchor_cell)
+                except ValueError:
+                    anchor_index = -1
+                if anchor_index >= 0 and eligible[anchor_index]:
+                    score[anchor_index] -= anchor_bonus_ps
+            best = int(np.argmin(score))
+            cell = arrays.cells[best]
+            assignment.set(name, cell)
+            realized[name] = float(delays[best])
+            chosen_input_cap[name] = float(arrays.input_cap[best])
+            chosen_vdd[name] = float(arrays.vdd[best])
+
+        return assignment, realized

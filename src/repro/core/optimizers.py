@@ -1,0 +1,229 @@
+"""Optimization drivers for SERTOPT.
+
+The paper minimizes the Equation-5 cost with Sequential Quadratic
+Programming and notes that "simulated annealing, genetic algorithms or
+some other optimization algorithm can also be used".  Because the
+matched objective is piecewise-constant in the delay assignment (the
+library is finite), the SQP driver uses a finite-difference step large
+enough to cross cell boundaries; annealing and a stochastic coordinate
+search are provided as the derivative-free alternatives and are the
+better default on coarse libraries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.errors import OptimizationError
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one optimizer run."""
+
+    x: np.ndarray
+    value: float
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+    method: str = ""
+
+
+class _CountingObjective:
+    """Wraps an objective with evaluation counting, caching of the best
+    point, and a hard evaluation budget."""
+
+    def __init__(self, objective: Objective, max_evaluations: int) -> None:
+        if max_evaluations < 1:
+            raise OptimizationError("max_evaluations must be >= 1")
+        self._objective = objective
+        self.max_evaluations = max_evaluations
+        self.evaluations = 0
+        self.history: list[float] = []
+        self.best_x: np.ndarray | None = None
+        self.best_value = math.inf
+
+    def __call__(self, x: np.ndarray) -> float:
+        if self.evaluations >= self.max_evaluations:
+            # Budget exhausted: return the best seen so SQP line searches
+            # terminate quietly instead of burning more evaluations.
+            return self.best_value
+        self.evaluations += 1
+        value = float(self._objective(np.asarray(x, dtype=np.float64)))
+        self.history.append(value)
+        if value < self.best_value:
+            self.best_value = value
+            self.best_x = np.array(x, dtype=np.float64)
+        return value
+
+
+def minimize_slsqp(
+    objective: Objective,
+    x0: np.ndarray,
+    bounds_halfwidth: float,
+    max_evaluations: int = 400,
+    fd_step: float = 2.0,
+) -> OptimizeResult:
+    """SQP (scipy SLSQP) with a coarse finite-difference step.
+
+    ``fd_step`` should be of the order of the delay quantum between
+    adjacent library cells (a few ps) so numerical gradients see the
+    discrete structure rather than a flat plateau.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    counter = _CountingObjective(objective, max_evaluations)
+    counter(x0)
+    bounds = [(-bounds_halfwidth, bounds_halfwidth)] * x0.size
+    try:
+        minimize(
+            counter,
+            x0,
+            method="SLSQP",
+            bounds=bounds,
+            options={
+                "maxiter": max(1, max_evaluations // (x0.size + 2)),
+                "eps": fd_step,
+                "ftol": 1e-6,
+            },
+        )
+    except OptimizationError:
+        raise
+    except Exception as exc:  # scipy can fail on degenerate problems
+        raise OptimizationError(f"SLSQP failed: {exc}") from exc
+    assert counter.best_x is not None
+    return OptimizeResult(
+        x=counter.best_x,
+        value=counter.best_value,
+        evaluations=counter.evaluations,
+        history=counter.history,
+        method="slsqp",
+    )
+
+
+def minimize_annealing(
+    objective: Objective,
+    x0: np.ndarray,
+    bounds_halfwidth: float,
+    max_evaluations: int = 400,
+    seed: int = 0,
+    initial_step: float | None = None,
+    initial_temperature: float | None = None,
+) -> OptimizeResult:
+    """Simulated annealing with geometric cooling and step shrinking."""
+    x0 = np.asarray(x0, dtype=np.float64)
+    counter = _CountingObjective(objective, max_evaluations)
+    rng = random.Random(seed)
+    current_x = x0.copy()
+    current_value = counter(current_x)
+    step = initial_step if initial_step is not None else bounds_halfwidth / 4.0
+    temperature = (
+        initial_temperature
+        if initial_temperature is not None
+        else max(abs(current_value) * 0.02, 1e-6)
+    )
+    cooling = 0.96
+    while counter.evaluations < max_evaluations:
+        # Sparse moves: perturb a few coordinates, not the whole vector —
+        # full-dimension Gaussian steps in a 20+-dimensional nullspace
+        # are almost always ruinous and waste the evaluation budget.
+        proposal = current_x.copy()
+        active = max(1, min(x0.size, int(rng.expovariate(1.0 / 2.0)) + 1))
+        for dim in rng.sample(range(x0.size), active):
+            proposal[dim] += rng.gauss(0.0, step)
+        np.clip(proposal, -bounds_halfwidth, bounds_halfwidth, out=proposal)
+        value = counter(proposal)
+        accept = value <= current_value or (
+            temperature > 0.0
+            and rng.random() < math.exp((current_value - value) / temperature)
+        )
+        if accept:
+            current_x, current_value = proposal, value
+        temperature *= cooling
+        step = max(step * 0.995, bounds_halfwidth / 50.0)
+    assert counter.best_x is not None
+    return OptimizeResult(
+        x=counter.best_x,
+        value=counter.best_value,
+        evaluations=counter.evaluations,
+        history=counter.history,
+        method="annealing",
+    )
+
+
+def minimize_coordinate(
+    objective: Objective,
+    x0: np.ndarray,
+    bounds_halfwidth: float,
+    max_evaluations: int = 400,
+    seed: int = 0,
+    step_schedule: Sequence[float] = (0.5, 0.25, 0.1),
+) -> OptimizeResult:
+    """Stochastic coordinate descent: probe +-step along one coordinate
+    at a time, keeping improvements; steps shrink per sweep schedule."""
+    x0 = np.asarray(x0, dtype=np.float64)
+    counter = _CountingObjective(objective, max_evaluations)
+    rng = random.Random(seed)
+    current_x = x0.copy()
+    current_value = counter(current_x)
+    dims = list(range(x0.size))
+    for fraction in step_schedule:
+        step = bounds_halfwidth * fraction
+        rng.shuffle(dims)
+        for dim in dims:
+            if counter.evaluations >= max_evaluations:
+                break
+            for direction in (1.0, -1.0):
+                probe = current_x.copy()
+                probe[dim] = float(
+                    np.clip(
+                        probe[dim] + direction * step,
+                        -bounds_halfwidth,
+                        bounds_halfwidth,
+                    )
+                )
+                value = counter(probe)
+                if value < current_value:
+                    current_x, current_value = probe, value
+                    break
+    assert counter.best_x is not None
+    return OptimizeResult(
+        x=counter.best_x,
+        value=counter.best_value,
+        evaluations=counter.evaluations,
+        history=counter.history,
+        method="coordinate",
+    )
+
+
+OPTIMIZERS: dict[str, Callable[..., OptimizeResult]] = {
+    "slsqp": minimize_slsqp,
+    "annealing": minimize_annealing,
+    "coordinate": minimize_coordinate,
+}
+
+
+def run_optimizer(
+    method: str,
+    objective: Objective,
+    x0: np.ndarray,
+    bounds_halfwidth: float,
+    max_evaluations: int,
+    seed: int = 0,
+) -> OptimizeResult:
+    """Dispatch to a registered optimizer by name."""
+    try:
+        driver = OPTIMIZERS[method]
+    except KeyError:
+        raise OptimizationError(
+            f"unknown optimizer {method!r}; choose from {sorted(OPTIMIZERS)}"
+        ) from None
+    if method == "slsqp":
+        return driver(objective, x0, bounds_halfwidth, max_evaluations)
+    return driver(objective, x0, bounds_halfwidth, max_evaluations, seed=seed)

@@ -1,0 +1,225 @@
+"""SERTOPT: Soft-ERror Tolerance OPTimization (paper Section 4).
+
+One :meth:`Sertopt.optimize` call performs the paper's flow:
+
+1. start from a speed-optimized baseline at the nominal operating point
+   (L = 70 nm, VDD = 1 V, Vth = 0.2 V);
+2. build the path topology matrix and its nullspace
+   (:class:`repro.core.delay_assignment.DelaySpace`), so delay
+   assignments can vary without disturbing (represented) path delays;
+3. search the nullspace coefficients with the configured optimizer;
+   every candidate is matched onto the discrete cell library in reverse
+   topological order (:class:`repro.core.matching.MatchingEngine`) and
+   scored with the Equation-5 cost
+   (:class:`repro.core.cost.CostEvaluator`), whose unreliability term
+   comes from a full ASERTA analysis;
+4. report baseline-vs-optimized ratios — the columns of the paper's
+   Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.core.baseline import size_for_speed
+from repro.core.cost import CostBreakdown, CostEvaluator, CostWeights
+from repro.core.delay_assignment import DelaySpace
+from repro.core.matching import MatchingEngine
+from repro.core.optimizers import OptimizeResult, run_optimizer
+from repro.errors import OptimizationError
+from repro.sta.timing import analyze_timing
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.library import CellLibrary, ParameterAssignment
+from repro.tech.table_builder import TechnologyTables
+
+
+@dataclass(frozen=True)
+class SertoptConfig:
+    """SERTOPT knobs (defaults sized for ISCAS'85-scale circuits)."""
+
+    weights: CostWeights = field(default_factory=CostWeights)
+    #: Optimizer: "coordinate" (systematic +-probes along each
+    #: timing-neutral direction; deterministic and the most robust on
+    #: the piecewise-constant matched objective), "annealing", or
+    #: "slsqp" (the paper's SQP, with a coarse finite-difference step).
+    optimizer: str = "coordinate"
+    #: Cost evaluations allowed for the search.
+    max_evaluations: int = 150
+    #: Paths used to build the topology matrix (exhaustive below this).
+    max_paths: int = 800
+    #: Cap on the nullspace dimension explored (None = full nullspace).
+    max_dimension: int | None = 24
+    #: Half-width of the box on nullspace coefficients, in ps.  Large on
+    #: purpose: electrical masking only bites once gates on glitch routes
+    #: are slowed into the d ~ w/2 regime, hundreds of ps for 16 fC
+    #: strikes, and the library's slow corner (L = 300 nm, 0.8 V,
+    #: Vth = 0.3 V) is reachable only with swings of that order.
+    coefficient_bound_ps: float = 300.0
+    #: Seed for path sampling and stochastic optimizers.
+    seed: int = 0
+    #: ASERTA settings used inside the cost loop.
+    aserta: AsertaConfig = field(default_factory=AsertaConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_evaluations < 1:
+            raise OptimizationError("max_evaluations must be >= 1")
+        if self.coefficient_bound_ps <= 0.0:
+            raise OptimizationError("coefficient_bound_ps must be > 0")
+
+
+@dataclass(frozen=True)
+class SertoptResult:
+    """Everything one SERTOPT run produces (one Table-1 row)."""
+
+    circuit_name: str
+    baseline_assignment: ParameterAssignment
+    optimized_assignment: ParameterAssignment
+    baseline: CostBreakdown
+    optimized: CostBreakdown
+    optimizer_result: OptimizeResult
+    delay_space_info: dict[str, int]
+    runtime_s: float
+
+    @property
+    def unreliability_reduction(self) -> float:
+        """Fractional decrease in U (the paper's headline column)."""
+        return self.optimized.unreliability_reduction
+
+    @property
+    def area_ratio(self) -> float:
+        return self.optimized.area_ratio
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.optimized.energy_ratio
+
+    @property
+    def delay_ratio(self) -> float:
+        return self.optimized.delay_ratio
+
+    def vdds_used(self) -> tuple[float, ...]:
+        return self.optimized_assignment.distinct_vdds()
+
+    def vths_used(self) -> tuple[float, ...]:
+        return self.optimized_assignment.distinct_vths()
+
+
+class Sertopt:
+    """Optimizer bound to one circuit and one cell library."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary | None = None,
+        config: SertoptConfig | None = None,
+        tables: TechnologyTables | None = None,
+        analyzer: AsertaAnalyzer | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.library = library if library is not None else CellLibrary.paper_library()
+        self.config = config if config is not None else SertoptConfig()
+        self.analyzer = (
+            analyzer
+            if analyzer is not None
+            else AsertaAnalyzer(circuit, config=self.config.aserta, tables=tables)
+        )
+
+    def optimize(
+        self, baseline: ParameterAssignment | None = None
+    ) -> SertoptResult:
+        """Run the full SERTOPT flow; see the module docstring."""
+        started = time.perf_counter()
+        config = self.config
+        if baseline is None:
+            baseline = size_for_speed(self.circuit, self.library)
+
+        evaluator = CostEvaluator(
+            self.analyzer, baseline, weights=config.weights
+        )
+        # Delay targets and ramps come from the same continuous model the
+        # matching engine evaluates (the paper's "SPICE library"), so the
+        # zero perturbation reproduces the baseline cells exactly; the
+        # cost's unreliability term still runs through ASERTA's tables.
+        target_elec = CircuitElectrical(
+            self.circuit, baseline, use_tables=False
+        )
+        space = DelaySpace(
+            self.circuit,
+            target_elec.delay_ps,
+            max_paths=config.max_paths,
+            seed=config.seed,
+            max_dimension=config.max_dimension,
+        )
+        engine = MatchingEngine(self.circuit, self.library)
+        ramps = dict(target_elec.input_ramp_ps)
+        baseline_delay = analyze_timing(
+            self.circuit, target_elec.delay_ps
+        ).delay_ps
+        repair_cap_ps = baseline_delay * config.weights.timing_cap
+
+        if space.dimension == 0:
+            # No timing-neutral direction exists (e.g. one path per gate):
+            # the baseline is returned unchanged.
+            breakdown = evaluator.evaluate(baseline)
+            return SertoptResult(
+                circuit_name=self.circuit.name,
+                baseline_assignment=baseline,
+                optimized_assignment=baseline,
+                baseline=evaluator.baseline_breakdown,
+                optimized=breakdown,
+                optimizer_result=OptimizeResult(
+                    x=np.zeros(0), value=breakdown.total, evaluations=1
+                ),
+                delay_space_info=space.describe(),
+                runtime_s=time.perf_counter() - started,
+            )
+
+        cache: dict[bytes, float] = {}
+
+        def objective(x: np.ndarray) -> float:
+            key = np.round(x, 4).tobytes()
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            targets = space.assigned_delays(x)
+            assignment = engine.match_with_timing(
+                targets, ramps, repair_cap_ps, anchor=baseline
+            )
+            value = evaluator.evaluate(assignment).total
+            cache[key] = value
+            return value
+
+        x0 = np.zeros(space.dimension)
+        search = run_optimizer(
+            config.optimizer,
+            objective,
+            x0,
+            bounds_halfwidth=config.coefficient_bound_ps,
+            max_evaluations=config.max_evaluations,
+            seed=config.seed,
+        )
+
+        best_assignment = engine.match_with_timing(
+            space.assigned_delays(search.x), ramps, repair_cap_ps, anchor=baseline
+        )
+        best_breakdown = evaluator.evaluate(best_assignment)
+        # Never return something worse than the untouched baseline.
+        if best_breakdown.total > evaluator.weights.total_weight:
+            best_assignment = baseline
+            best_breakdown = evaluator.evaluate(baseline)
+
+        return SertoptResult(
+            circuit_name=self.circuit.name,
+            baseline_assignment=baseline,
+            optimized_assignment=best_assignment,
+            baseline=evaluator.baseline_breakdown,
+            optimized=best_breakdown,
+            optimizer_result=search,
+            delay_space_info=space.describe(),
+            runtime_s=time.perf_counter() - started,
+        )

@@ -1,0 +1,90 @@
+"""Unreliability accounting (paper Equations 3-4) and report structures.
+
+Latching-window masking makes the probability of a glitch being captured
+proportional to its width at the latch (the strike instant is uniform in
+the clock cycle), so the expected output widths ``W_ij`` *are* the
+capture-probability weights.  Gate size ``Z_i`` scales the particle flux
+a gate intercepts, giving the per-gate contribution
+
+    U_i = Z_i * sum_j W_ij                                     (Eq 3)
+
+and the circuit unreliability ``U = sum_i U_i`` (Eq 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class GateUnreliability:
+    """Per-gate soft-error contribution."""
+
+    gate: str
+    #: Glitch width generated at this gate's output by the fixed-charge
+    #: strike (ps).
+    generated_width_ps: float
+    #: Gate size Z_i (strike cross-section weight).
+    size: float
+    #: Expected glitch width W_ij per primary output (ps).
+    widths_by_output: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_output_width_ps(self) -> float:
+        return sum(self.widths_by_output.values())
+
+    @property
+    def contribution(self) -> float:
+        """``U_i`` of Equation 3."""
+        return self.size * self.total_output_width_ps
+
+
+@dataclass(frozen=True)
+class UnreliabilityReport:
+    """Circuit-level unreliability, with the per-gate breakdown."""
+
+    circuit_name: str
+    per_gate: dict[str, GateUnreliability]
+
+    @property
+    def total(self) -> float:
+        """``U`` of Equation 4."""
+        return sum(entry.contribution for entry in self.per_gate.values())
+
+    def contribution(self, gate_name: str) -> float:
+        entry = self.per_gate.get(gate_name)
+        return 0.0 if entry is None else entry.contribution
+
+    def softest_gates(self, count: int = 10) -> list[GateUnreliability]:
+        """Gates with the largest unreliability contributions."""
+        ranked = sorted(
+            self.per_gate.values(), key=lambda e: e.contribution, reverse=True
+        )
+        return ranked[:count]
+
+    def improvement_over(self, baseline: "UnreliabilityReport") -> float:
+        """Fractional decrease in U versus ``baseline`` (paper Table 1)."""
+        base = baseline.total
+        if base <= 0.0:
+            return 0.0
+        return (base - self.total) / base
+
+
+def build_report(
+    circuit_name: str,
+    generated_widths: Mapping[str, float],
+    sizes: Mapping[str, float],
+    expected: Mapping[str, Mapping[str, float]],
+) -> UnreliabilityReport:
+    """Assemble the report from the electrical-masking pass outputs."""
+    per_gate = {
+        name: GateUnreliability(
+            gate=name,
+            generated_width_ps=float(generated_widths[name]),
+            size=float(sizes[name]),
+            widths_by_output=dict(expected.get(name, {})),
+        )
+        for name in generated_widths
+    }
+    return UnreliabilityReport(circuit_name=circuit_name, per_gate=per_gate)

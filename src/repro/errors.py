@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Structural problem with a circuit (bad wiring, cycles, duplicates)."""
+
+
+class CircuitCycleError(CircuitError):
+    """The netlist graph contains a combinational cycle."""
+
+
+class UnknownGateError(CircuitError):
+    """A referenced gate name does not exist in the circuit."""
+
+
+class BenchFormatError(ReproError):
+    """A ``.bench`` file could not be parsed."""
+
+
+class TechnologyError(ReproError):
+    """Invalid electrical/technology parameter (negative size, VDD <= Vth...)."""
+
+
+class TableError(ReproError):
+    """Lookup-table construction or query problem (bad axes, out of range)."""
+
+
+class LibraryError(ReproError):
+    """Cell-library construction or lookup problem."""
+
+
+class SimulationError(ReproError):
+    """Logic or transient simulation failed (shape mismatch, no vectors)."""
+
+
+class AnalysisError(ReproError):
+    """ASERTA analysis could not be completed."""
+
+
+class OptimizationError(ReproError):
+    """SERTOPT optimization could not be completed."""

@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+=============  =====================================================
+Module         Paper artifact
+=============  =====================================================
+fig1_*         Fig 1 — inverter glitch *generation* vs size/L/VDD/Vth
+fig2_*         Fig 2 — inverter glitch *propagation* vs the same knobs
+fig3_*         Fig 3 — per-node U_i, ASERTA vs reference, correlation
+table1_*       Table 1 — SERTOPT optimization results on the suite
+runtime_*      Section 5 runtime scaling remarks
+ablations      Eq-2 normalization and sample-width-count ablations
+charge_sweep   the paper's "future versions" charge-axis extension
+=============  =====================================================
+
+Each experiment is a pure function returning a result dataclass, plus a
+``main()`` that prints the paper-style table; benchmarks and tests call
+the functions, humans run ``python -m repro.experiments.<module>``.
+"""
+
+from repro.experiments.common import ExperimentScale
+
+__all__ = ["ExperimentScale"]

@@ -1,0 +1,204 @@
+"""ABL — ablations of ASERTA design choices the paper calls out.
+
+* **ABL-PI** — Equation 2's normalization.  The paper stresses that
+  ``pi_isj`` is *not* simply ``S_is * P_sj``: the shares must satisfy
+  ``sum_s pi_isj P_sj = P_ij`` or wide glitches stop obeying Lemma 1.
+  The ablation runs the electrical-masking pass with the naive weights
+  and measures how far the wide-glitch expected widths drift from the
+  exact ``w * P_ij``.
+
+* **ABL-K** — the number of sample glitch widths (the paper uses 10).
+  The ablation sweeps k and reports the total unreliability against a
+  dense-k reference, showing the convergence that justifies 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.core.electrical_masking import default_sample_widths
+from repro.core.masking import sensitization_to_input
+from repro.experiments.common import ExperimentScale
+from repro.tech.glitch import propagate_width_array
+from repro.tech.library import ParameterAssignment
+
+
+@dataclass(frozen=True)
+class PiAblationResult:
+    """Wide-glitch Lemma-1 deviation: normalized vs naive shares."""
+
+    circuit: str
+    max_deviation_normalized: float
+    max_deviation_naive: float
+    mean_deviation_naive: float
+
+
+def _wide_glitch_deviation(
+    circuit: Circuit,
+    analyzer: AsertaAnalyzer,
+    normalized: bool,
+) -> tuple[float, float]:
+    """Max/mean relative deviation of wide-glitch expected widths from
+    the Lemma-1 value ``ww * P_ij``."""
+    elec = analyzer.electrical_view(ParameterAssignment())
+    samples = default_sample_widths(elec, 10)
+    wide = samples[-1]
+    probabilities = analyzer.probabilities
+    paths = analyzer.sensitized_paths
+
+    tables: dict[str, dict[str, np.ndarray]] = {}
+    deviations: list[float] = []
+    for name in circuit.reverse_topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            continue
+        if circuit.is_output(name):
+            tables[name] = {name: samples.copy()}
+            continue
+        row: dict[str, np.ndarray] = {}
+        for output, p_ij in paths.get(name, {}).items():
+            if p_ij <= 0.0:
+                continue
+            shares = _shares(
+                circuit, probabilities, paths, name, output, normalized
+            )
+            if not shares:
+                continue
+            acc = np.zeros_like(samples)
+            for successor, share in shares.items():
+                table = tables.get(successor, {}).get(output)
+                if table is None:
+                    continue
+                widths_out = propagate_width_array(
+                    samples, elec.delay_ps[successor]
+                )
+                acc += share * np.interp(widths_out, samples, table)
+            row[output] = acc
+            expected = wide * p_ij
+            if expected > 0.0:
+                deviations.append(abs(acc[-1] - expected) / expected)
+        tables[name] = row
+    if not deviations:
+        return 0.0, 0.0
+    return float(np.max(deviations)), float(np.mean(deviations))
+
+
+def _shares(
+    circuit: Circuit,
+    probabilities: Mapping[str, float],
+    paths: Mapping[str, Mapping[str, float]],
+    gate_name: str,
+    output: str,
+    normalized: bool,
+) -> dict[str, float]:
+    raw: dict[str, float] = {}
+    denominator = 0.0
+    p_ij = paths.get(gate_name, {}).get(output, 0.0)
+    for successor in circuit.fanouts(gate_name):
+        s_is = sensitization_to_input(
+            circuit, probabilities, gate_name, successor
+        )
+        p_sj = paths.get(successor, {}).get(output, 0.0)
+        if s_is * p_sj > 0.0:
+            raw[successor] = s_is
+            denominator += s_is * p_sj
+    if not raw or denominator <= 0.0:
+        return {}
+    if normalized:
+        return {s: s_is * p_ij / denominator for s, s_is in raw.items()}
+    # Naive weights the paper warns against: S_is * P_sj directly.
+    return {
+        s: s_is * paths.get(s, {}).get(output, 0.0) for s, s_is in raw.items()
+    }
+
+
+def run_pi_ablation(
+    circuit_name: str = "c432", scale: ExperimentScale | None = None
+) -> PiAblationResult:
+    scale = scale if scale is not None else ExperimentScale.fast()
+    circuit = iscas85_circuit(circuit_name)
+    analyzer = AsertaAnalyzer(
+        circuit, AsertaConfig(n_vectors=scale.sensitization_vectors, seed=5)
+    )
+    max_norm, __ = _wide_glitch_deviation(circuit, analyzer, normalized=True)
+    max_naive, mean_naive = _wide_glitch_deviation(
+        circuit, analyzer, normalized=False
+    )
+    return PiAblationResult(
+        circuit=circuit_name,
+        max_deviation_normalized=max_norm,
+        max_deviation_naive=max_naive,
+        mean_deviation_naive=mean_naive,
+    )
+
+
+@dataclass(frozen=True)
+class SampleCountAblationResult:
+    """Total U as a function of the sample-width count k."""
+
+    circuit: str
+    reference_k: int
+    reference_total: float
+    totals: dict[int, float]
+
+    def relative_error(self, k: int) -> float:
+        if self.reference_total == 0.0:
+            return 0.0
+        return abs(self.totals[k] - self.reference_total) / self.reference_total
+
+
+def run_sample_count_ablation(
+    circuit_name: str = "c432",
+    counts: tuple[int, ...] = (3, 5, 10, 20),
+    reference_k: int = 40,
+    scale: ExperimentScale | None = None,
+) -> SampleCountAblationResult:
+    scale = scale if scale is not None else ExperimentScale.fast()
+    circuit = iscas85_circuit(circuit_name)
+    analyzer = AsertaAnalyzer(
+        circuit, AsertaConfig(n_vectors=scale.sensitization_vectors, seed=5)
+    )
+    elec = analyzer.electrical_view(ParameterAssignment())
+    totals: dict[int, float] = {}
+    for k in tuple(counts) + (reference_k,):
+        samples = default_sample_widths(elec, k)
+        totals[k] = analyzer.analyze(sample_widths=samples).total
+    return SampleCountAblationResult(
+        circuit=circuit_name,
+        reference_k=reference_k,
+        reference_total=totals[reference_k],
+        totals={k: totals[k] for k in counts},
+    )
+
+
+def main() -> None:
+    pi = run_pi_ablation()
+    print(
+        format_table(
+            ("variant", "max Lemma-1 deviation"),
+            [
+                ("Eq-2 normalized (paper)", pi.max_deviation_normalized),
+                ("naive S_is*P_sj", pi.max_deviation_naive),
+            ],
+            title=f"ABL-PI — wide-glitch deviation on {pi.circuit}",
+        )
+    )
+    ks = run_sample_count_ablation()
+    print(
+        format_table(
+            ("k samples", "total U", "error vs k=%d" % ks.reference_k),
+            [(k, ks.totals[k], ks.relative_error(k)) for k in sorted(ks.totals)],
+            title=f"ABL-K — sample-width count on {ks.circuit}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""ABL-Q — injected-charge sweep (the paper's "future versions" extension).
+
+The paper fixes the injected charge ("Although in reality the amount of
+charge injected (or removed) depends on the energy of the strike, for
+simplicity ASERTA assumes a fixed amount of injected charge.  Future
+versions of ASERTA will have look-up tables for different amounts of
+injected charge.").  This repository's glitch tables already carry a
+charge axis; this experiment sweeps it, showing circuit unreliability
+as a function of strike energy — monotonically non-decreasing, with a
+threshold below which the critical charge masks everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reports import format_table
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.experiments.common import ExperimentScale
+
+DEFAULT_CHARGES_FC: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class ChargeSweepResult:
+    circuit: str
+    totals_by_charge: dict[float, float]
+
+    def is_nondecreasing(self) -> bool:
+        values = [self.totals_by_charge[q] for q in sorted(self.totals_by_charge)]
+        return all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def run_charge_sweep(
+    circuit_name: str = "c432",
+    charges_fc: tuple[float, ...] = DEFAULT_CHARGES_FC,
+    scale: ExperimentScale | None = None,
+) -> ChargeSweepResult:
+    """Total unreliability versus injected charge."""
+    scale = scale if scale is not None else ExperimentScale.fast()
+    circuit = iscas85_circuit(circuit_name)
+    analyzer = AsertaAnalyzer(
+        circuit,
+        AsertaConfig(n_vectors=scale.sensitization_vectors, seed=5),
+    )
+    totals: dict[float, float] = {}
+    for charge in charges_fc:
+        totals[charge] = analyzer.analyze(charge_fc=charge).total
+    return ChargeSweepResult(circuit=circuit_name, totals_by_charge=totals)
+
+
+def main() -> None:
+    result = run_charge_sweep()
+    print(
+        format_table(
+            ("charge (fC)", "total U"),
+            [(q, result.totals_by_charge[q]) for q in sorted(result.totals_by_charge)],
+            title=f"ABL-Q — unreliability vs injected charge on {result.circuit}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

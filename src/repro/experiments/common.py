@@ -1,0 +1,70 @@
+"""Shared configuration for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.iscas85 import TABLE1_CIRCUITS
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much work an experiment run performs.
+
+    ``fast`` keeps unit tests and CI benchmarks quick; ``paper``
+    reproduces the paper's protocol sizes (10 000 sensitization vectors,
+    50 reference vectors, the full Table-1 circuit list).
+    """
+
+    #: Random vectors for ASERTA's P_ij estimate.
+    sensitization_vectors: int
+    #: Random vectors for the transient reference runs.
+    reference_vectors: int
+    #: SERTOPT cost evaluations.
+    optimizer_evaluations: int
+    #: Circuits included in suite-wide experiments.
+    circuits: tuple[str, ...]
+    #: Circuits for which the (slow) reference simulation is run; the
+    #: paper skipped SPICE on c5315 and c7552 for the same reason.
+    reference_circuits: tuple[str, ...]
+
+    @classmethod
+    def fast(cls) -> "ExperimentScale":
+        return cls(
+            sensitization_vectors=2000,
+            reference_vectors=20,
+            optimizer_evaluations=60,
+            circuits=("c432", "c499"),
+            reference_circuits=("c432", "c499"),
+        )
+
+    @classmethod
+    def medium(cls) -> "ExperimentScale":
+        return cls(
+            sensitization_vectors=4000,
+            reference_vectors=50,
+            optimizer_evaluations=120,
+            circuits=("c432", "c499", "c1908", "c2670"),
+            reference_circuits=("c432", "c499", "c1908"),
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(
+            sensitization_vectors=10000,
+            reference_vectors=50,
+            optimizer_evaluations=300,
+            circuits=TABLE1_CIRCUITS,
+            reference_circuits=TABLE1_CIRCUITS[:-2],
+        )
+
+    @classmethod
+    def named(cls, name: str) -> "ExperimentScale":
+        factories = {"fast": cls.fast, "medium": cls.medium, "paper": cls.paper}
+        try:
+            return factories[name]()
+        except KeyError:
+            raise AnalysisError(
+                f"unknown scale {name!r}; choose from {sorted(factories)}"
+            ) from None

@@ -1,0 +1,98 @@
+"""RT — runtime scaling (paper Section 5 remarks).
+
+The paper reports ASERTA taking 15 s on c432 and 200 s on c7552, and
+SERTOPT 20 min and 27 h respectively (MATLAB, with an expected 10x from
+migrating to a compiled implementation).  Absolute times are not
+comparable across substrates; what this experiment reproduces is the
+*shape*: ASERTA's near-linear growth in circuit size, and SERTOPT being
+orders of magnitude more expensive because every cost evaluation embeds
+a full ASERTA run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.reports import format_table
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.core.cost import CostEvaluator
+from repro.core.baseline import size_for_speed
+from repro.experiments.common import ExperimentScale
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    circuit: str
+    gates: int
+    analyzer_init_s: float
+    aserta_analyze_s: float
+    sertopt_eval_s: float
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    rows: list[RuntimeRow]
+
+    def analyze_seconds(self) -> dict[str, float]:
+        return {row.circuit: row.aserta_analyze_s for row in self.rows}
+
+
+def run_runtime_scaling(
+    scale: ExperimentScale | None = None,
+    circuits: tuple[str, ...] | None = None,
+) -> RuntimeResult:
+    """Measure ASERTA and per-evaluation SERTOPT wall-clock times."""
+    scale = scale if scale is not None else ExperimentScale.fast()
+    names = circuits if circuits is not None else scale.circuits
+    rows: list[RuntimeRow] = []
+    for name in names:
+        circuit = iscas85_circuit(name)
+        started = time.perf_counter()
+        analyzer = AsertaAnalyzer(
+            circuit,
+            AsertaConfig(n_vectors=scale.sensitization_vectors, seed=3),
+        )
+        init_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        analyzer.analyze()
+        analyze_s = time.perf_counter() - started
+
+        baseline = size_for_speed(circuit)
+        evaluator = CostEvaluator(analyzer, baseline)
+        started = time.perf_counter()
+        evaluator.evaluate(baseline)
+        eval_s = time.perf_counter() - started
+
+        rows.append(
+            RuntimeRow(
+                circuit=name,
+                gates=circuit.gate_count,
+                analyzer_init_s=init_s,
+                aserta_analyze_s=analyze_s,
+                sertopt_eval_s=eval_s,
+            )
+        )
+    return RuntimeResult(rows=rows)
+
+
+def main() -> None:
+    result = run_runtime_scaling(ExperimentScale.medium())
+    print(
+        format_table(
+            ("circuit", "gates", "P_ij init (s)", "ASERTA (s)", "SERTOPT eval (s)"),
+            [
+                (r.circuit, r.gates, r.analyzer_init_s, r.aserta_analyze_s,
+                 r.sertopt_eval_s)
+                for r in result.rows
+            ],
+            title="RT — runtime scaling (paper: 15 s on c432 to 200 s on "
+                  "c7552 for ASERTA, MATLAB)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

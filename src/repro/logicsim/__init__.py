@@ -1,0 +1,32 @@
+"""Zero-delay logic simulation: values, probabilities, observability.
+
+ASERTA's logical-masking model needs two ingredients (paper Section 3.1):
+
+* static probabilities ``p_i`` of each node being 1
+  (:func:`repro.logicsim.probability.static_probabilities` — the role
+  Synopsys Design Compiler plays in the paper), and
+* sensitized-path probabilities ``P_ij`` from 10 000-vector random
+  simulation (:func:`repro.logicsim.sensitization.sensitization_probabilities`,
+  the estimator of the paper's reference [5]).
+
+The engine underneath is a 64-way bit-parallel simulator
+(:class:`repro.logicsim.bitsim.BitParallelSimulator`).
+"""
+
+from repro.logicsim.bitsim import BitParallelSimulator
+from repro.logicsim.probability import (
+    simulated_probabilities,
+    static_probabilities,
+)
+from repro.logicsim.sensitization import sensitization_probabilities
+from repro.logicsim.vectors import pack_vectors, random_input_words, unpack_words
+
+__all__ = [
+    "BitParallelSimulator",
+    "static_probabilities",
+    "simulated_probabilities",
+    "sensitization_probabilities",
+    "random_input_words",
+    "pack_vectors",
+    "unpack_words",
+]

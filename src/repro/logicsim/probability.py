@@ -1,0 +1,87 @@
+"""Static signal probabilities.
+
+The paper obtains the probability ``p_i`` of each node being 1 from
+Synopsys Design Compiler with 0.5 at every primary input.  DC's engine
+is, to first order, topological propagation under an input-independence
+assumption; :func:`static_probabilities` implements that propagation
+exactly (and exactly matches the true probability on fan-out-free
+circuits).  :func:`simulated_probabilities` is the Monte-Carlo
+alternative used for validation and for activity factors.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Mapping
+
+import numpy as np
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import SimulationError
+from repro.logicsim.bitsim import BitParallelSimulator
+
+
+def static_probabilities(
+    circuit: Circuit,
+    input_probabilities: Mapping[str, float] | float = 0.5,
+) -> dict[str, float]:
+    """Probability of each signal being logic 1, assuming independence."""
+    probs: dict[str, float] = {}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            if isinstance(input_probabilities, Mapping):
+                p = float(input_probabilities.get(name, 0.5))
+            else:
+                p = float(input_probabilities)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(
+                    f"input probability for {name!r} must be in [0, 1], got {p}"
+                )
+            probs[name] = p
+            continue
+        fanin_probs = [probs[f] for f in gate.fanins]
+        probs[name] = _gate_probability(gate.gtype, fanin_probs)
+    return probs
+
+
+def _gate_probability(gtype: GateType, fanin_probs: list[float]) -> float:
+    if gtype is GateType.BUF:
+        return fanin_probs[0]
+    if gtype is GateType.NOT:
+        return 1.0 - fanin_probs[0]
+    if gtype in (GateType.AND, GateType.NAND):
+        p_and = float(np.prod(fanin_probs))
+        return p_and if gtype is GateType.AND else 1.0 - p_and
+    if gtype in (GateType.OR, GateType.NOR):
+        p_nor = float(np.prod([1.0 - p for p in fanin_probs]))
+        return 1.0 - p_nor if gtype is GateType.OR else p_nor
+    p_xor = reduce(lambda a, b: a * (1.0 - b) + b * (1.0 - a), fanin_probs)
+    return p_xor if gtype is GateType.XOR else 1.0 - p_xor
+
+
+def simulated_probabilities(
+    circuit: Circuit, n_vectors: int = 10000, seed: int = 0
+) -> dict[str, float]:
+    """Monte-Carlo estimate of each signal's probability of being 1."""
+    simulator = BitParallelSimulator(circuit)
+    values, mask = simulator.simulate_random(n_vectors, seed)
+    counts = np.bitwise_count(values & mask).sum(axis=1)
+    return {
+        name: float(counts[simulator.index[name]]) / n_vectors
+        for name in simulator.order
+    }
+
+
+def switching_activities(
+    probabilities: Mapping[str, float],
+) -> dict[str, float]:
+    """Per-cycle switching probability ``2 p (1 - p)`` for each signal.
+
+    Used by the power model: under temporal independence a node toggles
+    when consecutive cycles differ.
+    """
+    return {
+        name: 2.0 * p * (1.0 - p) for name, p in probabilities.items()
+    }

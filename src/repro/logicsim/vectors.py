@@ -1,0 +1,89 @@
+"""Packed random-vector generation for the bit-parallel simulator.
+
+Vectors are stored 64 per machine word: an input set of ``n`` signals
+simulated over ``v`` vectors is an ``(n, ceil(v / 64))`` array of
+``uint64``.  The final word's unused high lanes are always zero, and
+:func:`lane_mask` exposes the mask needed when counting bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+WORD_BITS = 64
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def word_count(n_vectors: int) -> int:
+    """Number of 64-bit words needed for ``n_vectors`` lanes."""
+    if n_vectors < 1:
+        raise SimulationError(f"need at least one vector, got {n_vectors}")
+    return (n_vectors + WORD_BITS - 1) // WORD_BITS
+
+
+def lane_mask(n_vectors: int) -> np.ndarray:
+    """Per-word mask with exactly ``n_vectors`` low lanes set overall."""
+    words = word_count(n_vectors)
+    mask = np.full(words, _FULL, dtype=np.uint64)
+    tail = n_vectors % WORD_BITS
+    if tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def random_input_words(n_inputs: int, n_vectors: int, seed: int = 0) -> np.ndarray:
+    """Uniform random packed input values, shape ``(n_inputs, words)``.
+
+    Tail lanes beyond ``n_vectors`` are forced to zero so bit-counting
+    needs no further masking on inputs (derived signals still need
+    :func:`lane_mask` after inverting gates set tail lanes).
+    """
+    if n_inputs < 1:
+        raise SimulationError(f"need at least one input, got {n_inputs}")
+    rng = np.random.default_rng(seed)
+    words = word_count(n_vectors)
+    raw = rng.integers(0, np.iinfo(np.uint64).max, size=(n_inputs, words),
+                       dtype=np.uint64, endpoint=True)
+    return raw & lane_mask(n_vectors)
+
+
+def pack_vectors(vectors: np.ndarray) -> np.ndarray:
+    """Pack a boolean array of shape ``(n_vectors, n_inputs)`` into words.
+
+    Vector ``v``'s value for input ``i`` lands in word ``v // 64`` bit
+    ``v % 64`` of row ``i``.
+    """
+    array = np.asarray(vectors, dtype=bool)
+    if array.ndim != 2:
+        raise SimulationError("pack_vectors expects a 2-D (vectors, inputs) array")
+    n_vectors, n_inputs = array.shape
+    if n_vectors == 0 or n_inputs == 0:
+        raise SimulationError("pack_vectors needs at least one vector and input")
+    words = word_count(n_vectors)
+    packed = np.zeros((n_inputs, words), dtype=np.uint64)
+    for v in range(n_vectors):
+        word, bit = divmod(v, WORD_BITS)
+        lane = np.uint64(1) << np.uint64(bit)
+        packed[array[v], word] |= lane
+    return packed
+
+
+def unpack_words(words: np.ndarray, n_vectors: int) -> np.ndarray:
+    """Inverse of :func:`pack_vectors`: returns ``(n_vectors, n_rows)`` bools."""
+    packed = np.asarray(words, dtype=np.uint64)
+    if packed.ndim == 1:
+        packed = packed[np.newaxis, :]
+    n_rows = packed.shape[0]
+    result = np.zeros((n_vectors, n_rows), dtype=bool)
+    for v in range(n_vectors):
+        word, bit = divmod(v, WORD_BITS)
+        lane = np.uint64(1) << np.uint64(bit)
+        result[v] = (packed[:, word] & lane) != 0
+    return result
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across ``words``."""
+    return int(np.bitwise_count(np.asarray(words, dtype=np.uint64)).sum())

@@ -1,0 +1,6 @@
+"""Energy and area models for the SERTOPT cost function."""
+
+from repro.power.energy import EnergyReport, circuit_energy
+from repro.power.area import circuit_area
+
+__all__ = ["EnergyReport", "circuit_energy", "circuit_area"]

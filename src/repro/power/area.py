@@ -1,0 +1,16 @@
+"""Layout area model.
+
+Area is accounted in relative units: transistor count times gate size
+times normalized channel length (:func:`repro.tech.gate_electrical.area_units`),
+summed over the circuit — the ``A`` term of the paper's Equation-5 cost.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.tech.electrical_view import CircuitElectrical
+
+
+def circuit_area(circuit: Circuit, elec: CircuitElectrical) -> float:
+    """Total relative layout area of all logic gates."""
+    return sum(elec.area_units[gate.name] for gate in circuit.gates())

@@ -1,0 +1,61 @@
+"""Circuit energy: dynamic (switching) plus static (leakage).
+
+SERTOPT's cost (paper Equation 5) charges total energy
+``E = E_dynamic + E_static`` per clock cycle:
+
+* dynamic — each gate's output node dissipates ``C_node VDD^2`` per
+  transition, weighted by its switching activity ``2 p (1 - p)``
+  (temporal-independence toggle model, probabilities from the logic
+  simulator);
+* static — leakage power integrated over one clock period; this is the
+  term that punishes low-Vth assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.circuit.netlist import Circuit
+from repro.logicsim.probability import switching_activities
+from repro.tech.electrical_view import CircuitElectrical
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-cycle energy breakdown, fJ."""
+
+    circuit_name: str
+    dynamic_fj: float
+    static_fj: float
+    per_gate_dynamic_fj: dict[str, float]
+    per_gate_static_fj: dict[str, float]
+
+    @property
+    def total_fj(self) -> float:
+        return self.dynamic_fj + self.static_fj
+
+
+def circuit_energy(
+    circuit: Circuit,
+    elec: CircuitElectrical,
+    probabilities: Mapping[str, float],
+) -> EnergyReport:
+    """Energy per clock cycle under the given signal probabilities."""
+    activities = switching_activities(probabilities)
+    per_dynamic: dict[str, float] = {}
+    per_static: dict[str, float] = {}
+    for gate in circuit.gates():
+        name = gate.name
+        activity = activities.get(name, 0.0)
+        per_dynamic[name] = activity * elec.dynamic_energy_weight_fj(name)
+        per_static[name] = (
+            elec.static_power_uw[name] * elec.clock_period_ps / 1000.0
+        )
+    return EnergyReport(
+        circuit_name=circuit.name,
+        dynamic_fj=sum(per_dynamic.values()),
+        static_fj=sum(per_static.values()),
+        per_gate_dynamic_fj=per_dynamic,
+        per_gate_static_fj=per_static,
+    )

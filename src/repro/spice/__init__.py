@@ -1,0 +1,23 @@
+"""Transient reference simulation (the repository's "SPICE").
+
+The paper validates ASERTA against HSPICE transient runs: apply a
+concrete input vector, inject the strike charge at one gate output, and
+watch the glitch propagate to the latches.  This package plays that
+role with the same *continuous* electrical model that the look-up
+tables are sampled from, and with exact per-vector logical masking —
+so the correlation numbers (Fig 3) measure exactly what the paper's
+do: the error of ASERTA's probabilistic masking + interpolation against
+a vector-accurate reference.
+"""
+
+from repro.spice.transient import TransientSimulator
+from repro.spice.harness import (
+    transient_unreliability,
+    vector_average_output_widths,
+)
+
+__all__ = [
+    "TransientSimulator",
+    "transient_unreliability",
+    "vector_average_output_widths",
+]

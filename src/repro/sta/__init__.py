@@ -1,0 +1,5 @@
+"""Static timing analysis over per-gate delay annotations."""
+
+from repro.sta.timing import TimingReport, analyze_timing, critical_path
+
+__all__ = ["TimingReport", "analyze_timing", "critical_path"]

@@ -1,0 +1,93 @@
+"""Static timing analysis: arrival times, slack, critical path.
+
+SERTOPT's timing constraint is the baseline circuit's delay ``T_init``;
+this module computes circuit delay under any per-gate delay annotation
+(from :class:`repro.tech.electrical_view.CircuitElectrical` or from a
+raw delay-assignment vector during nullspace exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Arrival/required times (ps) plus derived timing facts."""
+
+    circuit_name: str
+    arrival_ps: dict[str, float]
+    required_ps: dict[str, float]
+    delay_ps: float
+
+    def slack_ps(self, name: str) -> float:
+        return self.required_ps[name] - self.arrival_ps[name]
+
+    def worst_slack_ps(self) -> float:
+        return min(
+            self.required_ps[name] - self.arrival_ps[name]
+            for name in self.arrival_ps
+        )
+
+
+def analyze_timing(
+    circuit: Circuit, delays: Mapping[str, float]
+) -> TimingReport:
+    """Longest-path analysis; primary inputs arrive at t = 0.
+
+    ``delays`` maps every logic gate to its propagation delay in ps.
+    The required time at every primary output is the circuit delay, so
+    gates on the critical path have zero slack.
+    """
+    arrival: dict[str, float] = {}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            arrival[name] = 0.0
+            continue
+        delay = delays.get(name)
+        if delay is None:
+            raise AnalysisError(f"no delay annotation for gate {name!r}")
+        if delay < 0.0:
+            raise AnalysisError(f"negative delay for gate {name!r}: {delay}")
+        arrival[name] = delay + max(arrival[f] for f in gate.fanins)
+
+    circuit_delay = max(arrival[name] for name in circuit.outputs)
+
+    required: dict[str, float] = {}
+    for name in circuit.reverse_topological_order():
+        constraint = circuit_delay if circuit.is_output(name) else float("inf")
+        for successor in circuit.fanouts(name):
+            successor_required = required[successor] - delays.get(successor, 0.0)
+            constraint = min(constraint, successor_required)
+        required[name] = constraint
+
+    return TimingReport(
+        circuit_name=circuit.name,
+        arrival_ps=arrival,
+        required_ps=required,
+        delay_ps=circuit_delay,
+    )
+
+
+def critical_path(
+    circuit: Circuit, delays: Mapping[str, float]
+) -> tuple[str, ...]:
+    """Gate names along (one) longest PI-to-PO path, source first."""
+    report = analyze_timing(circuit, delays)
+    arrival = report.arrival_ps
+    end = max(circuit.outputs, key=lambda name: arrival[name])
+    path: list[str] = []
+    current = end
+    while True:
+        gate = circuit.gate(current)
+        if gate.is_input:
+            break
+        path.append(current)
+        current = max(gate.fanins, key=lambda f: arrival[f])
+    path.reverse()
+    return tuple(path)

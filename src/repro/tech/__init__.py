@@ -1,0 +1,34 @@
+"""Technology substrate: the library's "SPICE substitute".
+
+The paper characterizes gates with HSPICE and 70 nm Berkeley Predictive
+Technology Models, stores the results in look-up tables, and has ASERTA
+interpolate inside them.  Here the golden data source is an analytical
+alpha-power-law / RC gate model (:mod:`repro.tech.mosfet`,
+:mod:`repro.tech.gate_electrical`); everything downstream is structured
+exactly as in the paper:
+
+* :mod:`repro.tech.lut` — N-dimensional grid tables with multilinear
+  interpolation;
+* :mod:`repro.tech.table_builder` — samples the analytical model into
+  tables for delay, generated glitch width, energies, output ramp and
+  input capacitance;
+* :mod:`repro.tech.library` — the discrete cell library (sizes, channel
+  lengths, VDDs, Vths) SERTOPT assigns from;
+* :mod:`repro.tech.glitch` — the paper's Equation 1 attenuation model;
+* :mod:`repro.tech.electrical_view` — per-gate loads, delays, ramps and
+  generated widths for one circuit + parameter assignment.
+"""
+
+from repro.tech.library import CellLibrary, CellParams, ParameterAssignment
+from repro.tech.glitch import propagate_width
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.table_builder import TechnologyTables
+
+__all__ = [
+    "CellLibrary",
+    "CellParams",
+    "ParameterAssignment",
+    "propagate_width",
+    "CircuitElectrical",
+    "TechnologyTables",
+]

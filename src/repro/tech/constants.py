@@ -1,0 +1,79 @@
+"""Calibration constants for the 70 nm analytical technology model.
+
+These numbers are calibrated to reproduce the magnitudes and, above all,
+the *directional* dependences of the paper's 70 nm SPICE data (Figs 1-2):
+a minimum-size inverter (size 1 = 100 nm width, L = 70 nm, VDD = 1 V,
+Vth = 0.2 V) drives roughly 50 uA, switches in a few tens of ps under
+fan-out-of-4-like load, and a 16 fC strike on a lightly-loaded node
+produces a glitch of a few hundred ps.
+"""
+
+from __future__ import annotations
+
+#: Nominal channel length for the 70 nm node, in nm.
+NOMINAL_LENGTH_NM = 70.0
+
+#: Gate width corresponding to ``size = 1``, in nm (paper Section 2).
+WIDTH_PER_SIZE_NM = 100.0
+
+#: Nominal supply and threshold voltages used for the Table-1 baseline.
+NOMINAL_VDD_V = 1.0
+NOMINAL_VTH_V = 0.2
+
+#: Alpha-power-law velocity-saturation exponent.
+ALPHA = 1.3
+
+#: Drive-current scale: uA for a device with W/L = 1 at 1 V of overdrive.
+CURRENT_SCALE_UA = 35.0
+
+#: Subthreshold slope factor n (I_leak ~ exp(-Vth / (n * v_T))).
+SUBTHRESHOLD_N = 1.5
+
+#: Leakage current scale in uA for W/L = 1 at Vth = 0.
+LEAKAGE_SCALE_UA = 1.1
+
+#: Gate (input) capacitance per nm of width at nominal length, in fF/nm.
+GATE_CAP_PER_NM_FF = 0.0015
+
+#: Drain/diffusion (self) capacitance per nm of width, in fF/nm.
+DRAIN_CAP_PER_NM_FF = 0.0009
+
+#: Interconnect capacitance per fan-out branch, in fF.
+WIRE_CAP_PER_FANOUT_FF = 0.08
+
+#: Latch input capacitance presented at each primary output, in fF.
+LATCH_CAP_FF = 1.2
+
+#: Particle-strike collection time constant added to generated widths, ps.
+STRIKE_TAU_PS = 2.0
+
+#: Saturation exponent of the single-event-transient width versus the
+#: linear charge-removal time (Q - Qcrit)/I.  Physical SET widths grow
+#: sublinearly in deposited charge: the voltage excursion clips at the
+#: rails and the recovery tail is exponential, so doubling the charge
+#: (or halving the drive) widens the pulse by much less than 2x.  This
+#: is also the property that makes the paper's optimization possible at
+#: all — a slowed gate's delay grows faster than its generated width,
+#: so electrical masking becomes reachable.  Without it, w/d would be
+#: drive-invariant and no assignment could ever mask a glitch.
+SET_SATURATION_EXPONENT = 0.65
+
+#: Width scale multiplying the saturated charge-removal time, in ps;
+#: calibrated so a 16 fC strike on a minimum-size nominal inverter
+#: produces a glitch of roughly 180 ps (70 nm scale).
+SET_WIDTH_SCALE_PS = 3.55
+
+#: Default injected charge per strike, fC (paper: fixed charge; 16 fC in Fig 1).
+DEFAULT_CHARGE_FC = 16.0
+
+#: Default clock period for static-energy accounting, ps.
+CLOCK_PERIOD_PS = 1000.0
+
+#: Fraction of the input ramp that adds to effective gate delay.
+RAMP_DELAY_FRACTION = 0.2
+
+#: Output ramp as a multiple of the gate's step-input delay.
+RAMP_OF_DELAY = 1.6
+
+#: Default input ramp assumed at primary inputs, ps.
+PRIMARY_INPUT_RAMP_PS = 20.0

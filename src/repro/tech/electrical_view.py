@@ -1,0 +1,162 @@
+"""Per-gate electrical state for one circuit + parameter assignment.
+
+:class:`CircuitElectrical` is the shared substrate under ASERTA, the
+static timing analyzer, the power model and the transient reference
+simulator.  Given a circuit and a :class:`ParameterAssignment` it
+computes, in one forward topological pass:
+
+* the capacitive load on every signal (successor input pins + wire,
+  plus the latch capacitance at primary outputs),
+* input ramps (worst predecessor output ramp) and propagation delays,
+* output node capacitances and strike-generated glitch widths,
+* per-gate leakage power, switching-energy weights and layout area.
+
+``use_tables=True`` routes every electrical query through the
+interpolated :class:`~repro.tech.table_builder.TechnologyTables` (the
+paper's ASERTA architecture); ``use_tables=False`` evaluates the
+continuous model directly (the "SPICE" reference path).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import TechnologyError
+from repro.tech import constants as k
+from repro.tech import gate_electrical as ge
+from repro.tech.glitch import generated_width_ps
+from repro.tech.library import ParameterAssignment
+from repro.tech.table_builder import TechnologyTables, default_tables
+
+
+class CircuitElectrical:
+    """Electrical annotation of a circuit under one parameter assignment."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        assignment: ParameterAssignment,
+        tables: TechnologyTables | None = None,
+        use_tables: bool = True,
+        charge_fc: float = k.DEFAULT_CHARGE_FC,
+        clock_period_ps: float = k.CLOCK_PERIOD_PS,
+    ) -> None:
+        if charge_fc < 0.0:
+            raise TechnologyError(f"charge must be >= 0, got {charge_fc}")
+        if clock_period_ps <= 0.0:
+            raise TechnologyError(f"clock period must be > 0, got {clock_period_ps}")
+        self.circuit = circuit
+        self.assignment = assignment
+        self.use_tables = use_tables
+        self.tables = tables if tables is not None else default_tables()
+        self.charge_fc = charge_fc
+        self.clock_period_ps = clock_period_ps
+
+        self.load_ff: dict[str, float] = {}
+        self.input_ramp_ps: dict[str, float] = {}
+        self.output_ramp_ps: dict[str, float] = {}
+        self.delay_ps: dict[str, float] = {}
+        self.node_cap_ff: dict[str, float] = {}
+        self.generated_width_ps: dict[str, float] = {}
+        self.static_power_uw: dict[str, float] = {}
+        self.area_units: dict[str, float] = {}
+        self._annotate()
+
+    # ------------------------------------------------------------------
+    # Annotation passes
+    # ------------------------------------------------------------------
+
+    def _input_cap(self, name: str) -> float:
+        gate = self.circuit.gate(name)
+        params = self.assignment[name]
+        if self.use_tables:
+            return self.tables.input_cap_ff(gate.gtype, gate.fanin_count, params)
+        return ge.input_capacitance_ff(
+            gate.gtype, gate.fanin_count, params.size, params.length_nm
+        )
+
+    def _compute_load(self, name: str) -> float:
+        fanouts = self.circuit.fanouts(name)
+        load = k.WIRE_CAP_PER_FANOUT_FF * max(1, len(fanouts))
+        for successor in fanouts:
+            load += self._input_cap(successor)
+        if self.circuit.is_output(name):
+            load += k.LATCH_CAP_FF
+        return load
+
+    def _annotate(self) -> None:
+        circuit = self.circuit
+        for name in circuit.topological_order():
+            gate = circuit.gate(name)
+            self.load_ff[name] = self._compute_load(name)
+            if gate.is_input:
+                self.output_ramp_ps[name] = k.PRIMARY_INPUT_RAMP_PS
+                continue
+            params = self.assignment[name]
+            gtype, fanin = gate.gtype, gate.fanin_count
+            load = self.load_ff[name]
+            ramp_in = max(self.output_ramp_ps[f] for f in gate.fanins)
+            self.input_ramp_ps[name] = ramp_in
+
+            if self.use_tables:
+                delay = self.tables.delay_ps(gtype, fanin, params, load, ramp_in)
+                out_ramp = self.tables.output_ramp_ps(gtype, fanin, params, load)
+                width = self.tables.generated_width_ps(
+                    gtype, fanin, params, load, self.charge_fc
+                )
+                leak = self.tables.static_power_uw(gtype, fanin, params)
+            else:
+                delay = ge.propagation_delay_ps(
+                    gtype, fanin, params.size, params.length_nm,
+                    params.vdd, params.vth, load, ramp_in,
+                )
+                out_ramp = ge.output_ramp_ps(
+                    gtype, fanin, params.size, params.length_nm,
+                    params.vdd, params.vth, load,
+                )
+                current = ge.drive_current_ua(
+                    gtype, fanin, params.size, params.length_nm,
+                    params.vdd, params.vth,
+                )
+                node_cap = ge.self_capacitance_ff(gtype, fanin, params.size) + load
+                width = generated_width_ps(
+                    self.charge_fc, node_cap, current, params.vdd
+                )
+                leak = ge.static_power_uw(
+                    gtype, fanin, params.size, params.length_nm,
+                    params.vdd, params.vth,
+                )
+            self.delay_ps[name] = delay
+            self.output_ramp_ps[name] = out_ramp
+            self.node_cap_ff[name] = (
+                ge.self_capacitance_ff(gtype, fanin, params.size) + load
+            )
+            self.generated_width_ps[name] = width
+            self.static_power_uw[name] = leak
+            self.area_units[name] = ge.area_units(
+                gtype, fanin, params.size, params.length_nm
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def gate_size(self, name: str) -> float:
+        """The size Z_i used as the strike-cross-section weight (Eq 3)."""
+        return self.assignment[name].size
+
+    def total_area(self) -> float:
+        """Total layout area in relative units."""
+        return sum(self.area_units.values())
+
+    def total_static_power_uw(self) -> float:
+        return sum(self.static_power_uw.values())
+
+    def static_energy_fj(self) -> float:
+        """Leakage energy over one clock period, fJ."""
+        return self.total_static_power_uw() * self.clock_period_ps / 1000.0
+
+    def dynamic_energy_weight_fj(self, name: str) -> float:
+        """Energy of one output transition of gate ``name`` (C_node V^2)."""
+        params = self.assignment[name]
+        return self.node_cap_ff[name] * params.vdd * params.vdd

@@ -1,0 +1,181 @@
+"""Gate-level electrical model: delay, ramps, capacitances, energies.
+
+Single-stage CMOS gate model on top of :mod:`repro.tech.mosfet`, with
+logical-effort-style corrections for gate type and fan-in (series device
+stacks weaken drive; wider input structures add capacitance).  These are
+the functions the table builder samples — the "SPICE runs" of this
+reproduction — and the transient reference simulator calls directly.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import GateType
+from repro.errors import TechnologyError
+from repro.tech import constants as k
+from repro.tech import mosfet
+from repro.units import PS_PER_FF_V_PER_UA
+
+
+def drive_divisor(gtype: GateType, fanin: int) -> float:
+    """How much the worst-case input weakens the gate's drive current.
+
+    Series NMOS stacks (NAND-like) and the heavier series PMOS stacks
+    (NOR-like) divide the available restoring current; XOR-class gates
+    pay for their pass/complementary structure.
+    """
+    if fanin < 1:
+        raise TechnologyError(f"fan-in must be >= 1, got {fanin}")
+    if gtype in (GateType.BUF, GateType.NOT):
+        return 1.0
+    if gtype in (GateType.AND, GateType.NAND):
+        return 1.0 + 0.45 * (fanin - 1)
+    if gtype in (GateType.OR, GateType.NOR):
+        return 1.0 + 0.60 * (fanin - 1)
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return 1.6 + 0.40 * (fanin - 2)
+    raise TechnologyError(f"primary inputs have no drive ({gtype})")
+
+
+def input_cap_factor(gtype: GateType, fanin: int) -> float:
+    """Logical-effort-like multiplier on per-input gate capacitance."""
+    if fanin < 1:
+        raise TechnologyError(f"fan-in must be >= 1, got {fanin}")
+    if gtype in (GateType.BUF, GateType.NOT):
+        return 1.0
+    if gtype in (GateType.AND, GateType.NAND):
+        return (fanin + 2.0) / 3.0
+    if gtype in (GateType.OR, GateType.NOR):
+        return (2.0 * fanin + 1.0) / 3.0
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return 2.0
+    raise TechnologyError(f"primary inputs have no input capacitance ({gtype})")
+
+
+def self_cap_factor(gtype: GateType, fanin: int) -> float:
+    """Parasitic (drain) capacitance multiplier for the output node."""
+    if fanin < 1:
+        raise TechnologyError(f"fan-in must be >= 1, got {fanin}")
+    base = 1.0 + 0.30 * (fanin - 1)
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return 1.5 * base
+    return base
+
+
+def transistor_count(gtype: GateType, fanin: int) -> int:
+    """Transistors in the static-CMOS realization (for area and leakage)."""
+    if gtype in (GateType.BUF, GateType.NOT):
+        return 2 * (2 if gtype is GateType.BUF else 1)
+    if gtype in (GateType.NAND, GateType.NOR):
+        return 2 * fanin
+    if gtype in (GateType.AND, GateType.OR):
+        return 2 * fanin + 2
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return 4 * fanin + 2
+    raise TechnologyError(f"primary inputs have no transistors ({gtype})")
+
+
+def drive_current_ua(
+    gtype: GateType,
+    fanin: int,
+    size: float,
+    length_nm: float,
+    vdd: float,
+    vth: float,
+) -> float:
+    """Restoring/output drive current through the worst-case stack, uA."""
+    width = mosfet.size_to_width_nm(size)
+    return mosfet.on_current_ua(width, length_nm, vdd, vth) / drive_divisor(
+        gtype, fanin
+    )
+
+
+def input_capacitance_ff(
+    gtype: GateType, fanin: int, size: float, length_nm: float
+) -> float:
+    """Capacitance presented by one input pin of the gate, fF."""
+    width = mosfet.size_to_width_nm(size)
+    return mosfet.gate_capacitance_ff(width, length_nm) * input_cap_factor(
+        gtype, fanin
+    )
+
+
+def self_capacitance_ff(
+    gtype: GateType, fanin: int, size: float
+) -> float:
+    """Parasitic capacitance the gate contributes to its own output, fF."""
+    width = mosfet.size_to_width_nm(size)
+    return mosfet.drain_capacitance_ff(width) * self_cap_factor(gtype, fanin)
+
+
+def propagation_delay_ps(
+    gtype: GateType,
+    fanin: int,
+    size: float,
+    length_nm: float,
+    vdd: float,
+    vth: float,
+    load_ff: float,
+    input_ramp_ps: float = 0.0,
+) -> float:
+    """Gate propagation delay in ps, to the 50% crossing.
+
+    Step-input delay is the time for the drive current to move the
+    output node (self + external load) across half the supply, plus a
+    fraction of the input ramp (a slow input turns the gate on late).
+    """
+    if load_ff < 0.0:
+        raise TechnologyError(f"load must be >= 0, got {load_ff} fF")
+    if input_ramp_ps < 0.0:
+        raise TechnologyError(f"input ramp must be >= 0, got {input_ramp_ps} ps")
+    current = drive_current_ua(gtype, fanin, size, length_nm, vdd, vth)
+    total_cap = self_capacitance_ff(gtype, fanin, size) + load_ff
+    step = PS_PER_FF_V_PER_UA * total_cap * vdd / (2.0 * current)
+    return step + k.RAMP_DELAY_FRACTION * input_ramp_ps
+
+
+def output_ramp_ps(
+    gtype: GateType,
+    fanin: int,
+    size: float,
+    length_nm: float,
+    vdd: float,
+    vth: float,
+    load_ff: float,
+) -> float:
+    """Output transition time (ramp) in ps, proportional to step delay."""
+    step = propagation_delay_ps(gtype, fanin, size, length_nm, vdd, vth, load_ff)
+    return k.RAMP_OF_DELAY * step
+
+
+def dynamic_energy_fj(
+    gtype: GateType, fanin: int, size: float, load_ff: float, vdd: float
+) -> float:
+    """Energy of one full output transition, fJ (``C V^2``)."""
+    if load_ff < 0.0:
+        raise TechnologyError(f"load must be >= 0, got {load_ff} fF")
+    total_cap = self_capacitance_ff(gtype, fanin, size) + load_ff
+    return total_cap * vdd * vdd
+
+
+def static_power_uw(
+    gtype: GateType,
+    fanin: int,
+    size: float,
+    length_nm: float,
+    vdd: float,
+    vth: float,
+) -> float:
+    """Leakage power in uW (= uA * V), scaled by the leaking stack count."""
+    width = mosfet.size_to_width_nm(size)
+    per_stack = mosfet.leakage_current_ua(width, length_nm, vth)
+    stacks = max(1.0, transistor_count(gtype, fanin) / 4.0)
+    return per_stack * stacks * vdd
+
+
+def area_units(gtype: GateType, fanin: int, size: float, length_nm: float) -> float:
+    """Relative layout area: transistor count x size x (L / L_nominal)."""
+    return (
+        transistor_count(gtype, fanin)
+        * size
+        * (length_nm / k.NOMINAL_LENGTH_NM)
+    )

@@ -1,0 +1,170 @@
+"""Discrete cell library and per-gate parameter assignments.
+
+SERTOPT optimizes over a *finite* library (paper Section 4): each gate is
+assigned a size, a channel length, a VDD and a Vth drawn from small
+discrete sets.  :class:`CellLibrary` enumerates the legal combinations;
+:class:`ParameterAssignment` binds one choice to every gate of a circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import LibraryError
+from repro.tech import constants as k
+from repro.tech.mosfet import size_to_width_nm, validate_device
+
+
+@dataclass(frozen=True, order=True)
+class CellParams:
+    """One gate's electrical operating point."""
+
+    size: float = 1.0
+    length_nm: float = k.NOMINAL_LENGTH_NM
+    vdd: float = k.NOMINAL_VDD_V
+    vth: float = k.NOMINAL_VTH_V
+
+    def __post_init__(self) -> None:
+        validate_device(size_to_width_nm(self.size), self.length_nm, self.vdd, self.vth)
+
+
+#: The Table-1 baseline operating point: size 1, L = 70 nm, 1 V, 0.2 V.
+NOMINAL_CELL = CellParams()
+
+#: Channel lengths SERTOPT was allowed to use in the paper's experiments.
+PAPER_LENGTHS_NM: tuple[float, ...] = (70.0, 100.0, 150.0, 250.0, 300.0)
+
+#: Supply / threshold voltage menus used across the paper's Table 1.
+PAPER_VDDS: tuple[float, ...] = (0.8, 1.0, 1.2)
+PAPER_VTHS: tuple[float, ...] = (0.1, 0.2, 0.3)
+
+#: Default size menu (size 1 = 100 nm width; maximum matches baseline max).
+DEFAULT_SIZES: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+class CellLibrary:
+    """The discrete menu of cells SERTOPT may assign to a gate."""
+
+    def __init__(
+        self,
+        sizes: Iterable[float] = DEFAULT_SIZES,
+        lengths_nm: Iterable[float] = PAPER_LENGTHS_NM,
+        vdds: Iterable[float] = (k.NOMINAL_VDD_V,),
+        vths: Iterable[float] = (k.NOMINAL_VTH_V,),
+    ) -> None:
+        self.sizes = _sorted_unique("sizes", sizes)
+        self.lengths_nm = _sorted_unique("lengths_nm", lengths_nm)
+        self.vdds = _sorted_unique("vdds", vdds)
+        self.vths = _sorted_unique("vths", vths)
+        self._cells: tuple[CellParams, ...] | None = None
+
+    @classmethod
+    def paper_library(
+        cls,
+        vdds: Iterable[float] = PAPER_VDDS,
+        vths: Iterable[float] = PAPER_VTHS,
+        max_size: float = max(DEFAULT_SIZES),
+    ) -> "CellLibrary":
+        """The library of the paper's Table 1 experiments."""
+        sizes = tuple(s for s in DEFAULT_SIZES if s <= max_size)
+        return cls(sizes=sizes, lengths_nm=PAPER_LENGTHS_NM, vdds=vdds, vths=vths)
+
+    @classmethod
+    def sizing_only(cls, sizes: Iterable[float] = DEFAULT_SIZES) -> "CellLibrary":
+        """Gate-sizing-only library (the paper's fallback when multi-VDD /
+        multi-Vth design is infeasible)."""
+        return cls(sizes=sizes, lengths_nm=(k.NOMINAL_LENGTH_NM,))
+
+    def cells(self) -> tuple[CellParams, ...]:
+        """All legal cells (combinations with VDD > Vth), cached."""
+        if self._cells is None:
+            combos = []
+            for vdd in self.vdds:
+                for vth in self.vths:
+                    if vdd <= vth:
+                        continue
+                    for size in self.sizes:
+                        for length in self.lengths_nm:
+                            combos.append(
+                                CellParams(
+                                    size=size, length_nm=length, vdd=vdd, vth=vth
+                                )
+                            )
+            if not combos:
+                raise LibraryError("library has no legal cells (VDD <= Vth?)")
+            self._cells = tuple(combos)
+        return self._cells
+
+    def cells_with_vdd_at_least(self, vdd_floor: float) -> tuple[CellParams, ...]:
+        """Cells satisfying SERTOPT's no-level-shifter constraint:
+        a gate's VDD must be >= every successor's VDD."""
+        eligible = tuple(c for c in self.cells() if c.vdd >= vdd_floor - 1e-12)
+        if not eligible:
+            raise LibraryError(
+                f"no library cell has VDD >= {vdd_floor}; add higher-VDD cells"
+            )
+        return eligible
+
+    def __len__(self) -> int:
+        return len(self.cells())
+
+    def __iter__(self) -> Iterator[CellParams]:
+        return iter(self.cells())
+
+    def __repr__(self) -> str:
+        return (
+            f"CellLibrary(sizes={self.sizes}, lengths_nm={self.lengths_nm}, "
+            f"vdds={self.vdds}, vths={self.vths})"
+        )
+
+
+def _sorted_unique(name: str, values: Iterable[float]) -> tuple[float, ...]:
+    result = tuple(sorted(set(float(v) for v in values)))
+    if not result:
+        raise LibraryError(f"library axis {name!r} must not be empty")
+    if any(v <= 0.0 for v in result):
+        raise LibraryError(f"library axis {name!r} must be positive")
+    return result
+
+
+class ParameterAssignment:
+    """Maps every gate of a circuit to its :class:`CellParams`.
+
+    Gates without an explicit entry use the ``default`` cell, so a
+    freshly-constructed assignment is the uniform nominal design.
+    """
+
+    def __init__(
+        self,
+        default: CellParams = NOMINAL_CELL,
+        overrides: Mapping[str, CellParams] | None = None,
+    ) -> None:
+        self.default = default
+        self._overrides: dict[str, CellParams] = dict(overrides or {})
+
+    def __getitem__(self, gate_name: str) -> CellParams:
+        return self._overrides.get(gate_name, self.default)
+
+    def set(self, gate_name: str, params: CellParams) -> None:
+        self._overrides[gate_name] = params
+
+    def overrides(self) -> dict[str, CellParams]:
+        return dict(self._overrides)
+
+    def copy(self) -> "ParameterAssignment":
+        return ParameterAssignment(self.default, self._overrides)
+
+    def distinct_vdds(self) -> tuple[float, ...]:
+        vdds = {self.default.vdd} | {p.vdd for p in self._overrides.values()}
+        return tuple(sorted(vdds))
+
+    def distinct_vths(self) -> tuple[float, ...]:
+        vths = {self.default.vth} | {p.vth for p in self._overrides.values()}
+        return tuple(sorted(vths))
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterAssignment(default={self.default}, "
+            f"overrides={len(self._overrides)})"
+        )

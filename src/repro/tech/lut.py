@@ -1,0 +1,144 @@
+"""N-dimensional grid look-up tables with multilinear interpolation.
+
+ASERTA's accuracy argument (paper Section 3) rests on replacing
+analytical models with SPICE-characterized look-up tables plus linear
+interpolation.  :class:`GridTable` is that structure: rectangular grids
+over named axes, values sampled at every grid point, and clamped
+multilinear interpolation for arbitrary queries.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import TableError
+
+
+class GridTable:
+    """A rectangular interpolated look-up table.
+
+    Parameters
+    ----------
+    axes:
+        Sequence of ``(name, grid_points)`` pairs.  Grid points must be
+        strictly increasing 1-D arrays with at least one entry.
+    values:
+        Array of sampled values whose shape matches the grid sizes in
+        axis order.
+    """
+
+    def __init__(
+        self,
+        axes: Sequence[tuple[str, Sequence[float]]],
+        values: np.ndarray,
+    ) -> None:
+        if not axes:
+            raise TableError("GridTable needs at least one axis")
+        self._names: list[str] = []
+        self._grids: list[np.ndarray] = []
+        for name, points in axes:
+            grid = np.asarray(points, dtype=np.float64)
+            if grid.ndim != 1 or grid.size == 0:
+                raise TableError(f"axis {name!r} must be a non-empty 1-D grid")
+            if np.any(np.diff(grid) <= 0.0):
+                raise TableError(f"axis {name!r} must be strictly increasing")
+            if name in self._names:
+                raise TableError(f"duplicate axis name {name!r}")
+            self._names.append(name)
+            self._grids.append(grid)
+        self._values = np.asarray(values, dtype=np.float64)
+        expected = tuple(grid.size for grid in self._grids)
+        if self._values.shape != expected:
+            raise TableError(
+                f"values shape {self._values.shape} does not match grid "
+                f"shape {expected}"
+            )
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    def axis_grid(self, name: str) -> np.ndarray:
+        try:
+            return self._grids[self._names.index(name)].copy()
+        except ValueError:
+            raise TableError(f"no axis named {name!r}") from None
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    def lookup(self, **coords: float) -> float:
+        """Clamped multilinear interpolation at the named coordinates.
+
+        Every axis must be given exactly once; coordinates outside the
+        grid are clamped to the boundary (the paper's tables are built to
+        cover the library's full parameter range, so clamping only
+        handles numerical fuzz at the edges).
+        """
+        missing = [name for name in self._names if name not in coords]
+        if missing:
+            raise TableError(f"missing coordinates for axes {missing}")
+        extra = [name for name in coords if name not in self._names]
+        if extra:
+            raise TableError(f"unknown axes {extra}; table has {self._names}")
+
+        brackets: list[tuple[int, int, float]] = []
+        for name, grid in zip(self._names, self._grids):
+            brackets.append(_bracket(grid, float(coords[name]), name))
+
+        total = 0.0
+        for corner in product((0, 1), repeat=len(brackets)):
+            weight = 1.0
+            index: list[int] = []
+            for pick, (low, high, fraction) in zip(corner, brackets):
+                if pick == 0:
+                    weight *= 1.0 - fraction
+                    index.append(low)
+                else:
+                    weight *= fraction
+                    index.append(high)
+            if weight != 0.0:
+                total += weight * float(self._values[tuple(index)])
+        return total
+
+    def __repr__(self) -> str:
+        shape = "x".join(str(g.size) for g in self._grids)
+        return f"GridTable(axes={self._names}, shape={shape})"
+
+
+def _bracket(grid: np.ndarray, value: float, name: str) -> tuple[int, int, float]:
+    """Indices of the two grid points around ``value`` plus the fraction."""
+    if np.isnan(value):
+        raise TableError(f"coordinate for axis {name!r} is NaN")
+    if grid.size == 1:
+        return 0, 0, 0.0
+    if value <= grid[0]:
+        return 0, 0, 0.0
+    if value >= grid[-1]:
+        last = grid.size - 1
+        return last, last, 0.0
+    high = int(np.searchsorted(grid, value, side="right"))
+    low = high - 1
+    span = grid[high] - grid[low]
+    return low, high, float((value - grid[low]) / span)
+
+
+def interp_monotone(
+    sample_x: np.ndarray, sample_y: np.ndarray, x: float
+) -> float:
+    """1-D linear interpolation with boundary clamping.
+
+    Used by ASERTA's electrical-masking pass to interpolate expected
+    output widths between the 10 sample glitch widths (Section 3.2).
+    """
+    xs = np.asarray(sample_x, dtype=np.float64)
+    ys = np.asarray(sample_y, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size == 0:
+        raise TableError("interp_monotone needs matching non-empty 1-D arrays")
+    if np.any(np.diff(xs) <= 0.0):
+        raise TableError("sample x values must be strictly increasing")
+    return float(np.interp(x, xs, ys))

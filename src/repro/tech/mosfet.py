@@ -1,0 +1,75 @@
+"""Alpha-power-law MOSFET model: drive current, leakage, capacitances.
+
+This is the device-level layer of the SPICE substitute.  The alpha-power
+law (Sakurai-Newton) captures the velocity-saturated dependence of drive
+current on gate overdrive that all four of the paper's knobs act
+through:
+
+* gate *size* scales width, hence current and capacitance linearly;
+* channel *length* divides current and multiplies gate capacitance;
+* *VDD* sets the overdrive ``VDD - Vth`` (and the swing to restore);
+* *Vth* sets both the overdrive and the subthreshold leakage
+  ``exp(-Vth / (n v_T))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TechnologyError
+from repro.tech import constants as k
+from repro.units import THERMAL_VOLTAGE_V
+
+
+def validate_device(width_nm: float, length_nm: float, vdd: float, vth: float) -> None:
+    """Raise :class:`TechnologyError` on non-physical device parameters."""
+    if width_nm <= 0.0:
+        raise TechnologyError(f"gate width must be positive, got {width_nm} nm")
+    if length_nm <= 0.0:
+        raise TechnologyError(f"channel length must be positive, got {length_nm} nm")
+    if vdd <= 0.0:
+        raise TechnologyError(f"VDD must be positive, got {vdd} V")
+    if vth < 0.0:
+        raise TechnologyError(f"Vth must be non-negative, got {vth} V")
+    if vdd <= vth:
+        raise TechnologyError(
+            f"VDD ({vdd} V) must exceed Vth ({vth} V) for the gate to switch"
+        )
+
+
+def on_current_ua(width_nm: float, length_nm: float, vdd: float, vth: float) -> float:
+    """Saturation drive current in uA: ``K (W/L) (VDD - Vth)^alpha``."""
+    validate_device(width_nm, length_nm, vdd, vth)
+    overdrive = vdd - vth
+    return k.CURRENT_SCALE_UA * (width_nm / length_nm) * overdrive**k.ALPHA
+
+
+def leakage_current_ua(width_nm: float, length_nm: float, vth: float) -> float:
+    """Subthreshold leakage in uA: ``K_leak (W/L) exp(-Vth / (n v_T))``."""
+    if width_nm <= 0.0 or length_nm <= 0.0:
+        raise TechnologyError("leakage needs positive width and length")
+    if vth < 0.0:
+        raise TechnologyError(f"Vth must be non-negative, got {vth} V")
+    exponent = -vth / (k.SUBTHRESHOLD_N * THERMAL_VOLTAGE_V)
+    return k.LEAKAGE_SCALE_UA * (width_nm / length_nm) * math.exp(exponent)
+
+
+def gate_capacitance_ff(width_nm: float, length_nm: float) -> float:
+    """Input (gate-oxide) capacitance in fF, linear in W and in L."""
+    if width_nm <= 0.0 or length_nm <= 0.0:
+        raise TechnologyError("capacitance needs positive width and length")
+    return k.GATE_CAP_PER_NM_FF * width_nm * (length_nm / k.NOMINAL_LENGTH_NM)
+
+
+def drain_capacitance_ff(width_nm: float) -> float:
+    """Drain/diffusion self-capacitance in fF, linear in W."""
+    if width_nm <= 0.0:
+        raise TechnologyError("capacitance needs positive width")
+    return k.DRAIN_CAP_PER_NM_FF * width_nm
+
+
+def size_to_width_nm(size: float) -> float:
+    """Convert the paper's unitless gate size (1 = 100 nm) to width in nm."""
+    if size <= 0.0:
+        raise TechnologyError(f"gate size must be positive, got {size}")
+    return size * k.WIDTH_PER_SIZE_NM

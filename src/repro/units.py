@@ -1,0 +1,60 @@
+"""Engineering units and physical constants used throughout the library.
+
+All internal computation uses one consistent unit system so that no
+function needs per-call unit bookkeeping:
+
+==============  ==========  =====================================
+Quantity        Unit        Notes
+==============  ==========  =====================================
+time            ps          gate delays, glitch widths, ramps
+voltage         V           VDD, Vth, glitch amplitude
+capacitance     fF          node, input and load capacitance
+current         uA          device on-current, leakage
+charge          fC          injected charge (1 fC = 1 fF * 1 V)
+energy          fJ          static and dynamic energy
+length          nm          gate width and channel length
+area            nm^2        gate area (width * length)
+==============  ==========  =====================================
+
+The only non-obvious conversion: a current of 1 uA discharging 1 fF
+across 1 V takes 1 ns, i.e. 1000 ps.  :data:`PS_PER_FF_V_PER_UA`
+captures that factor once.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Multiply (C[fF] * V[V] / I[uA]) by this to obtain a time in ps.
+PS_PER_FF_V_PER_UA = 1000.0
+
+#: Boltzmann constant times unit charge: thermal voltage at 300 K, in volts.
+THERMAL_VOLTAGE_V = 0.02585
+
+#: Picoseconds per nanosecond, for readable conversions in reports.
+PS_PER_NS = 1000.0
+
+#: Femtojoules per picojoule.
+FJ_PER_PJ = 1000.0
+
+
+def charge_fc(capacitance_ff: float, voltage_v: float) -> float:
+    """Charge in fC stored on ``capacitance_ff`` at ``voltage_v``."""
+    return capacitance_ff * voltage_v
+
+
+def discharge_time_ps(charge_fc_: float, current_ua: float) -> float:
+    """Time in ps for ``current_ua`` to move ``charge_fc_`` of charge."""
+    if current_ua <= 0.0:
+        return math.inf
+    return PS_PER_FF_V_PER_UA * charge_fc_ / current_ua
+
+
+def dynamic_energy_fj(capacitance_ff: float, vdd_v: float) -> float:
+    """Switching energy ``C * VDD^2`` in fJ for a full rail transition."""
+    return capacitance_ff * vdd_v * vdd_v
+
+
+def leakage_energy_fj(leakage_ua: float, vdd_v: float, window_ps: float) -> float:
+    """Static energy ``I_leak * VDD * t`` in fJ over a ``window_ps`` window."""
+    return leakage_ua * vdd_v * window_ps / PS_PER_FF_V_PER_UA

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Conventions: tests use small vector counts and the shared process-wide
+technology tables so the whole suite stays fast; experiments that need
+the paper-scale protocol sizes live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gate import GateType
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.tech.library import ParameterAssignment
+from repro.tech.table_builder import default_tables
+
+
+@pytest.fixture(scope="session")
+def tables():
+    """The shared technology tables (built once per test session)."""
+    return default_tables()
+
+
+@pytest.fixture()
+def c17() -> Circuit:
+    return iscas85_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def c432() -> Circuit:
+    return iscas85_circuit("c432")
+
+
+@pytest.fixture()
+def chain4() -> Circuit:
+    """PI -> four inverters -> PO (no reconvergence, single path)."""
+    circuit = Circuit("chain4")
+    previous = circuit.add_input("a")
+    for index in range(4):
+        previous = circuit.add_gate(f"n{index}", GateType.NOT, [previous])
+    circuit.mark_output(previous)
+    circuit.validate()
+    return circuit
+
+
+@pytest.fixture()
+def diamond() -> Circuit:
+    """Classic reconvergent diamond: a -> (top, bottom) -> out."""
+    circuit = Circuit("diamond")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    root = circuit.add_gate("root", GateType.AND, [a, b])
+    top = circuit.add_gate("top", GateType.NOT, [root])
+    bottom = circuit.add_gate("bottom", GateType.BUF, [root])
+    out = circuit.add_gate("out", GateType.NAND, [top, bottom])
+    circuit.mark_output(out)
+    circuit.validate()
+    return circuit
+
+
+@pytest.fixture()
+def two_output() -> Circuit:
+    """Two outputs sharing a cone (exercises per-output bookkeeping)."""
+    circuit = Circuit("two_output")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    c = circuit.add_input("c")
+    shared = circuit.add_gate("shared", GateType.OR, [a, b])
+    left = circuit.add_gate("left", GateType.AND, [shared, c])
+    right = circuit.add_gate("right", GateType.NOR, [shared, a])
+    circuit.mark_output(left)
+    circuit.mark_output(right)
+    circuit.validate()
+    return circuit
+
+
+@pytest.fixture(scope="session")
+def c17_analyzer() -> AsertaAnalyzer:
+    return AsertaAnalyzer(
+        iscas85_circuit("c17"), AsertaConfig(n_vectors=2000, seed=9)
+    )
+
+
+@pytest.fixture(scope="session")
+def c432_analyzer(c432) -> AsertaAnalyzer:
+    return AsertaAnalyzer(c432, AsertaConfig(n_vectors=1500, seed=9))
+
+
+@pytest.fixture()
+def nominal() -> ParameterAssignment:
+    return ParameterAssignment()

@@ -1,0 +1,173 @@
+"""Tests for analysis helpers and all experiment harnesses (fast scale)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlate_reports, pearson
+from repro.analysis.reports import format_percent, format_ratio, format_table
+from repro.errors import AnalysisError
+from repro.experiments.ablations import (
+    run_pi_ablation,
+    run_sample_count_ablation,
+)
+from repro.experiments.charge_sweep import run_charge_sweep
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig1_glitch_generation import run_fig1
+from repro.experiments.fig2_glitch_propagation import run_fig2
+from repro.experiments.fig3_c432_correlation import (
+    correlation_for_circuit,
+    run_fig3,
+)
+from repro.experiments.runtime_scaling import run_runtime_scaling
+from repro.experiments.table1_optimization import PAPER_RESULTS
+
+
+class TestCorrelationHelpers:
+    def test_pearson_perfect(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        assert pearson(xs, 2 * xs) == pytest.approx(1.0)
+        assert pearson(xs, -xs) == pytest.approx(-1.0)
+
+    def test_pearson_degenerate_is_zero(self):
+        assert pearson(np.array([1.0, 1.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_pearson_shape_checked(self):
+        with pytest.raises(AnalysisError):
+            pearson(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_correlate_reports_level_filter(self, c17, c17_analyzer):
+        report = c17_analyzer.analyze().unreliability
+        full = correlate_reports(c17, report, report)
+        assert full.correlation == pytest.approx(1.0)
+        shallow = correlate_reports(
+            c17, report, report, max_levels_from_output=0
+        )
+        assert set(shallow.gate_names) == set(c17.outputs)
+
+
+class TestReportRendering:
+    def test_format_table_basic(self):
+        text = format_table(("a", "b"), [(1, 2.5), ("x", 0.123)])
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert len(lines) == 4
+
+    def test_row_width_checked(self):
+        with pytest.raises(AnalysisError):
+            format_table(("a",), [(1, 2)])
+
+    def test_percent_and_ratio(self):
+        assert format_percent(0.4) == "40%"
+        assert format_ratio(1.234) == "1.23X"
+
+
+class TestFigureExperiments:
+    def test_fig1_directions_match_paper(self):
+        """Fig 1: slower gate => wider generated glitch, all four knobs."""
+        result = run_fig1()
+        assert result.series["size"].is_decreasing()
+        assert result.series["length_nm"].is_increasing()
+        assert result.series["vdd"].is_decreasing()
+        assert result.series["vth"].is_increasing()
+        assert not result.series["size"].is_constant()
+
+    def test_fig2_directions_mirror_fig1(self):
+        """Fig 2: slower gate => narrower propagated glitch."""
+        result = run_fig2()
+        assert result.series["size"].is_increasing()
+        assert result.series["length_nm"].is_decreasing()
+        assert result.series["vdd"].is_increasing()
+        assert result.series["vth"].is_decreasing()
+
+    def test_fig2_output_never_exceeds_input(self):
+        result = run_fig2()
+        for sweep in result.series.values():
+            assert all(w <= result.input_width_ps for w in sweep.widths_ps)
+
+    def test_fig3_correlation_positive_and_strong(self):
+        scale = ExperimentScale(
+            sensitization_vectors=1500,
+            reference_vectors=15,
+            optimizer_evaluations=10,
+            circuits=("c432",),
+            reference_circuits=("c432",),
+        )
+        result = correlation_for_circuit("c432", scale)
+        assert result.correlation > 0.7  # paper: 0.96
+        assert result.n_gates > 20
+
+    def test_fig3_suite_runner(self):
+        scale = ExperimentScale(
+            sensitization_vectors=800,
+            reference_vectors=8,
+            optimizer_evaluations=10,
+            circuits=("c17", "c432"),
+            reference_circuits=("c17", "c432"),
+        )
+        result = run_fig3(scale, primary_circuit="c432")
+        assert set(result.suite) == {"c17", "c432"}
+        assert -1.0 <= result.suite_average <= 1.0
+
+
+class TestAblationsAndSweeps:
+    def test_pi_ablation_normalized_is_exact(self):
+        result = run_pi_ablation(
+            "c432",
+            ExperimentScale(
+                sensitization_vectors=800, reference_vectors=5,
+                optimizer_evaluations=5, circuits=("c432",),
+                reference_circuits=(),
+            ),
+        )
+        assert result.max_deviation_normalized < 1e-6
+        assert result.max_deviation_naive > result.max_deviation_normalized
+
+    def test_sample_count_converges(self):
+        result = run_sample_count_ablation(
+            "c17",
+            counts=(3, 5, 10),
+            reference_k=30,
+            scale=ExperimentScale(
+                sensitization_vectors=500, reference_vectors=5,
+                optimizer_evaluations=5, circuits=("c17",),
+                reference_circuits=(),
+            ),
+        )
+        assert result.relative_error(10) <= result.relative_error(3) + 1e-9
+
+    def test_charge_sweep_monotone(self):
+        result = run_charge_sweep(
+            "c17",
+            charges_fc=(2.0, 8.0, 32.0),
+            scale=ExperimentScale(
+                sensitization_vectors=500, reference_vectors=5,
+                optimizer_evaluations=5, circuits=("c17",),
+                reference_circuits=(),
+            ),
+        )
+        assert result.is_nondecreasing()
+
+    def test_runtime_scaling_rows(self):
+        result = run_runtime_scaling(
+            ExperimentScale(
+                sensitization_vectors=500, reference_vectors=5,
+                optimizer_evaluations=5, circuits=("c17", "c432"),
+                reference_circuits=(),
+            ),
+        )
+        assert [row.circuit for row in result.rows] == ["c17", "c432"]
+        assert all(row.aserta_analyze_s > 0 for row in result.rows)
+        # Bigger circuit, more work.
+        assert result.rows[1].gates > result.rows[0].gates
+
+
+class TestPaperReferenceData:
+    def test_paper_results_recorded_for_table1(self):
+        assert PAPER_RESULTS["c432"] == (2.0, 2.2, 1.23, 0.40)
+        assert PAPER_RESULTS["c499"][3] == 0.0
+
+    def test_scale_named(self):
+        assert ExperimentScale.named("fast").circuits == ("c432", "c499")
+        assert ExperimentScale.named("paper").sensitization_vectors == 10000
+        with pytest.raises(AnalysisError):
+            ExperimentScale.named("bogus")

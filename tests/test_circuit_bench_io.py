@@ -1,0 +1,99 @@
+"""Tests for the .bench parser/writer, including round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.bench_io import (
+    known_keywords,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+from repro.circuit.generator import GeneratorSpec, generate_circuit
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.errors import BenchFormatError, UnknownGateError
+
+SIMPLE = """
+# comment line
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+"""
+
+
+class TestParsing:
+    def test_simple_parse(self):
+        circuit = parse_bench(SIMPLE, "simple")
+        assert circuit.inputs == ("a", "b")
+        assert circuit.outputs == ("y",)
+        assert circuit.gate("y").fanins == ("a", "b")
+
+    def test_comments_and_blank_lines_ignored(self):
+        circuit = parse_bench("#x\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert circuit.gate_count == 1
+
+    def test_case_insensitive_keywords(self):
+        circuit = parse_bench("input(a)\noutput(y)\ny = nand(a, a2)\ninput(a2)")
+        assert circuit.gate("y").fanins == ("a", "a2")
+
+    def test_buff_and_inv_aliases(self):
+        circuit = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nb = BUFF(a)\ny = INV(b)\n"
+        )
+        assert circuit.gate_count == 2
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_error_mentions_line_number(self):
+        try:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+        except BenchFormatError as exc:
+            assert "line 3" in str(exc)
+        else:
+            pytest.fail("expected BenchFormatError")
+
+    def test_dangling_fanin_rejected(self):
+        with pytest.raises(UnknownGateError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")
+
+    def test_known_keywords_exposed(self):
+        assert "NAND" in known_keywords()
+
+
+class TestRoundTrip:
+    def test_c17_round_trip(self, c17):
+        rebuilt = parse_bench(write_bench(c17), "c17rt")
+        assert rebuilt.inputs == c17.inputs
+        assert rebuilt.outputs == c17.outputs
+        assert {g.name: (g.gtype, g.fanins) for g in rebuilt} == {
+            g.name: (g.gtype, g.fanins) for g in c17
+        }
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_circuits_round_trip(self, seed):
+        spec = GeneratorSpec(
+            name="rt", n_inputs=4, n_outputs=3, n_gates=25, depth=4, seed=seed
+        )
+        circuit = generate_circuit(spec)
+        rebuilt = parse_bench(write_bench(circuit), "rt")
+        assert {g.name: (g.gtype, g.fanins) for g in rebuilt} == {
+            g.name: (g.gtype, g.fanins) for g in circuit
+        }
+        assert rebuilt.outputs == circuit.outputs
+
+    def test_file_round_trip(self, tmp_path, c17):
+        path = tmp_path / "c17.bench"
+        write_bench_file(c17, path)
+        rebuilt = parse_bench_file(path)
+        assert rebuilt.name == "c17"
+        assert rebuilt.stats() == c17.stats()

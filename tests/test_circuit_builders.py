@@ -1,0 +1,194 @@
+"""Functional tests for the combinational building blocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.builders import (
+    NameScope,
+    decoder,
+    equality_comparator,
+    expand_xor_to_nand,
+    full_adder,
+    mux_tree,
+    reduce_tree,
+    ripple_adder,
+    xor_tree,
+)
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+from repro.logicsim.bitsim import BitParallelSimulator
+
+
+def evaluate(circuit: Circuit, assignment: dict) -> dict:
+    return BitParallelSimulator(circuit).simulate_one(assignment)
+
+
+class TestNameScope:
+    def test_names_are_unique(self):
+        scope = NameScope("t")
+        names = {scope.fresh() for __ in range(100)}
+        assert len(names) == 100
+
+    def test_hint_is_embedded(self):
+        assert "xor" in NameScope("p").fresh("xor")
+
+
+class TestReduceTree:
+    def test_single_signal_passthrough(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        scope = NameScope()
+        assert reduce_tree(circuit, scope, GateType.AND, [a]) == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            reduce_tree(Circuit(), NameScope(), GateType.AND, [])
+
+    @settings(max_examples=20, deadline=None)
+    @given(bits=st.lists(st.booleans(), min_size=2, max_size=9))
+    def test_and_tree_computes_conjunction(self, bits):
+        circuit = Circuit()
+        inputs = [circuit.add_input(f"i{k}") for k in range(len(bits))]
+        root = reduce_tree(circuit, NameScope(), GateType.AND, inputs)
+        circuit.mark_output(root)
+        values = evaluate(circuit, dict(zip(inputs, bits)))
+        assert values[root] == all(bits)
+
+    @settings(max_examples=20, deadline=None)
+    @given(bits=st.lists(st.booleans(), min_size=2, max_size=9))
+    def test_xor_tree_computes_parity(self, bits):
+        circuit = Circuit()
+        inputs = [circuit.add_input(f"i{k}") for k in range(len(bits))]
+        root = xor_tree(circuit, NameScope(), inputs)
+        circuit.mark_output(root)
+        values = evaluate(circuit, dict(zip(inputs, bits)))
+        parity = False
+        for bit in bits:
+            parity ^= bit
+        assert values[root] == parity
+
+
+class TestAdders:
+    def test_full_adder_truth_table(self):
+        for a in (False, True):
+            for b in (False, True):
+                for cin in (False, True):
+                    circuit = Circuit()
+                    ia, ib, ic = (circuit.add_input(n) for n in "abc")
+                    total, carry = full_adder(circuit, NameScope(), ia, ib, ic)
+                    circuit.mark_output(total)
+                    circuit.mark_output(carry)
+                    values = evaluate(circuit, {"a": a, "b": b, "c": cin})
+                    expected = int(a) + int(b) + int(cin)
+                    assert values[total] == bool(expected & 1)
+                    assert values[carry] == bool(expected >> 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_ripple_adder_adds(self, a, b):
+        width = 8
+        circuit = Circuit()
+        a_bits = [circuit.add_input(f"a{k}") for k in range(width)]
+        b_bits = [circuit.add_input(f"b{k}") for k in range(width)]
+        sums, carry = ripple_adder(circuit, NameScope(), a_bits, b_bits)
+        for s in sums:
+            circuit.mark_output(s)
+        circuit.mark_output(carry)
+        assignment = {f"a{k}": bool(a >> k & 1) for k in range(width)}
+        assignment.update({f"b{k}": bool(b >> k & 1) for k in range(width)})
+        values = evaluate(circuit, assignment)
+        result = sum(int(values[s]) << k for k, s in enumerate(sums))
+        result |= int(values[carry]) << width
+        assert result == a + b
+
+    def test_mismatched_widths_rejected(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            ripple_adder(circuit, NameScope(), [a], [])
+
+
+class TestMuxAndDecoder:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        select=st.integers(min_value=0, max_value=3),
+        data=st.integers(min_value=0, max_value=15),
+    )
+    def test_mux_tree_selects(self, select, data):
+        circuit = Circuit()
+        selects = [circuit.add_input(f"s{k}") for k in range(2)]
+        inputs = [circuit.add_input(f"d{k}") for k in range(4)]
+        out = mux_tree(circuit, NameScope(), selects, inputs)
+        circuit.mark_output(out)
+        assignment = {f"s{k}": bool(select >> k & 1) for k in range(2)}
+        assignment.update({f"d{k}": bool(data >> k & 1) for k in range(4)})
+        values = evaluate(circuit, assignment)
+        assert values[out] == bool(data >> select & 1)
+
+    def test_mux_tree_width_check(self):
+        circuit = Circuit()
+        s = circuit.add_input("s")
+        d = circuit.add_input("d")
+        with pytest.raises(CircuitError):
+            mux_tree(circuit, NameScope(), [s], [d])
+
+    @pytest.mark.parametrize("code", range(8))
+    def test_decoder_one_hot(self, code):
+        circuit = Circuit()
+        selects = [circuit.add_input(f"s{k}") for k in range(3)]
+        outputs = decoder(circuit, NameScope(), selects)
+        for out in outputs:
+            circuit.mark_output(out)
+        assignment = {f"s{k}": bool(code >> k & 1) for k in range(3)}
+        values = evaluate(circuit, assignment)
+        assert [values[o] for o in outputs] == [
+            i == code for i in range(8)
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+    )
+    def test_equality_comparator(self, a, b):
+        circuit = Circuit()
+        a_bits = [circuit.add_input(f"a{k}") for k in range(6)]
+        b_bits = [circuit.add_input(f"b{k}") for k in range(6)]
+        out = equality_comparator(circuit, NameScope(), a_bits, b_bits)
+        circuit.mark_output(out)
+        assignment = {f"a{k}": bool(a >> k & 1) for k in range(6)}
+        assignment.update({f"b{k}": bool(b >> k & 1) for k in range(6)})
+        values = evaluate(circuit, assignment)
+        assert values[out] == (a == b)
+
+
+class TestXorExpansion:
+    @settings(max_examples=15, deadline=None)
+    @given(bits=st.lists(st.booleans(), min_size=3, max_size=6),
+           invert=st.booleans())
+    def test_expansion_preserves_function(self, bits, invert):
+        """XOR -> NAND rewriting (the c499 -> c1355 relationship) is
+        functionally exact."""
+        circuit = Circuit("x")
+        inputs = [circuit.add_input(f"i{k}") for k in range(len(bits))]
+        gtype = GateType.XNOR if invert else GateType.XOR
+        out = circuit.add_gate("y", gtype, inputs)
+        circuit.mark_output(out)
+        expanded = expand_xor_to_nand(circuit)
+        assignment = dict(zip((f"i{k}" for k in range(len(bits))), bits))
+        original = evaluate(circuit, assignment)["y"]
+        rewritten = evaluate(expanded, assignment)["y"]
+        assert original == rewritten
+
+    def test_expansion_removes_xor_gates(self, c17):
+        from repro.circuit.ecc import sec_decoder
+
+        expanded = expand_xor_to_nand(sec_decoder(4, 3, name="tiny"))
+        counts = expanded.gate_type_counts()
+        assert GateType.XOR not in counts
+        assert GateType.XNOR not in counts

@@ -1,0 +1,95 @@
+"""Functional tests for the SEC decoder (c499-like)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.ecc import data_bit_tags, encode_word, sec_decoder
+from repro.errors import CircuitError
+from repro.logicsim.bitsim import BitParallelSimulator
+
+
+def run_decoder(circuit, data, check, enable=True):
+    assignment = {f"d{i}": bool(b) for i, b in enumerate(data)}
+    assignment.update({f"c{j}": bool(b) for j, b in enumerate(check)})
+    assignment["en"] = enable
+    values = BitParallelSimulator(circuit).simulate_one(assignment)
+    return [values[f"q{i}"] for i in range(len(data))]
+
+
+class TestTags:
+    def test_tags_distinct_and_weighty(self):
+        tags = data_bit_tags(32, 8)
+        assert len(set(tags)) == 32
+        assert all(bin(t).count("1") >= 2 for t in tags)
+
+    def test_too_many_data_bits_rejected(self):
+        with pytest.raises(CircuitError):
+            data_bit_tags(100, 3)  # only C(3,2)+C(3,3)=4 tags available
+
+
+class TestShape:
+    def test_c499_shape(self):
+        circuit = sec_decoder(32, 8, name="c499")
+        stats = circuit.stats()
+        assert stats["inputs"] == 41  # 32 data + 8 check + enable
+        assert stats["outputs"] == 32
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CircuitError):
+            sec_decoder(0, 8)
+        with pytest.raises(CircuitError):
+            sec_decoder(8, 1)
+
+
+class TestCorrection:
+    @settings(max_examples=25, deadline=None)
+    @given(word=st.integers(min_value=0, max_value=255),
+           flipped=st.integers(min_value=0, max_value=7))
+    def test_single_data_error_corrected(self, word, flipped):
+        """The defining property of c499: any single data-bit error is
+        corrected back to the transmitted word."""
+        circuit = sec_decoder(8, 5, name="sec85")
+        data = [bool(word >> i & 1) for i in range(8)]
+        check = encode_word(data, 5)
+        corrupted = list(data)
+        corrupted[flipped] = not corrupted[flipped]
+        assert run_decoder(circuit, corrupted, check) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(word=st.integers(min_value=0, max_value=255))
+    def test_clean_word_passes_through(self, word):
+        circuit = sec_decoder(8, 5, name="sec85")
+        data = [bool(word >> i & 1) for i in range(8)]
+        check = encode_word(data, 5)
+        assert run_decoder(circuit, data, check) == data
+
+    @settings(max_examples=15, deadline=None)
+    @given(word=st.integers(min_value=0, max_value=255),
+           flipped=st.integers(min_value=0, max_value=4))
+    def test_check_bit_error_leaves_data_alone(self, word, flipped):
+        """Check-bit errors produce weight-1 syndromes, matching no tag."""
+        circuit = sec_decoder(8, 5, name="sec85")
+        data = [bool(word >> i & 1) for i in range(8)]
+        check = encode_word(data, 5)
+        check[flipped] = not check[flipped]
+        assert run_decoder(circuit, data, check) == data
+
+    @settings(max_examples=10, deadline=None)
+    @given(word=st.integers(min_value=0, max_value=255),
+           flipped=st.integers(min_value=0, max_value=7))
+    def test_enable_low_disables_correction(self, word, flipped):
+        circuit = sec_decoder(8, 5, name="sec85")
+        data = [bool(word >> i & 1) for i in range(8)]
+        check = encode_word(data, 5)
+        corrupted = list(data)
+        corrupted[flipped] = not corrupted[flipped]
+        assert run_decoder(circuit, corrupted, check, enable=False) == corrupted
+
+    def test_full_width_correction_spot_check(self):
+        circuit = sec_decoder(32, 8, name="c499")
+        data = [bool(i % 3 == 0) for i in range(32)]
+        check = encode_word(data, 8)
+        corrupted = list(data)
+        corrupted[17] = not corrupted[17]
+        assert run_decoder(circuit, corrupted, check) == data

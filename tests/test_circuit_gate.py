@@ -1,0 +1,149 @@
+"""Unit tests for gate types and boolean semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.gate import (
+    CONTROLLING_VALUE,
+    Gate,
+    GateType,
+    NON_CONTROLLING_VALUE,
+    evaluate,
+    evaluate_words,
+)
+from repro.errors import CircuitError
+
+LOGIC_TYPES = [t for t in GateType if t is not GateType.INPUT]
+MULTI_INPUT = [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+               GateType.XOR, GateType.XNOR]
+
+
+class TestGateConstruction:
+    def test_input_gate_has_no_fanins(self):
+        gate = Gate("a", GateType.INPUT)
+        assert gate.is_input and gate.fanin_count == 0
+
+    def test_input_gate_rejects_fanins(self):
+        with pytest.raises(CircuitError):
+            Gate("a", GateType.INPUT, ("b",))
+
+    def test_not_gate_requires_exactly_one_fanin(self):
+        with pytest.raises(CircuitError):
+            Gate("n", GateType.NOT, ())
+        with pytest.raises(CircuitError):
+            Gate("n", GateType.NOT, ("a", "b"))
+
+    @pytest.mark.parametrize("gtype", MULTI_INPUT)
+    def test_multi_input_gates_require_two_fanins(self, gtype):
+        with pytest.raises(CircuitError):
+            Gate("g", gtype, ("a",))
+        assert Gate("g", gtype, ("a", "b")).fanin_count == 2
+
+    def test_duplicate_fanins_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("g", GateType.AND, ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("", GateType.NOT, ("a",))
+
+    def test_wide_fanin_allowed(self):
+        fanins = tuple(f"i{k}" for k in range(8))
+        assert Gate("g", GateType.AND, fanins).fanin_count == 8
+
+
+class TestScalarEvaluation:
+    @pytest.mark.parametrize(
+        "gtype,values,expected",
+        [
+            (GateType.BUF, [True], True),
+            (GateType.NOT, [True], False),
+            (GateType.AND, [True, True], True),
+            (GateType.AND, [True, False], False),
+            (GateType.NAND, [True, True], False),
+            (GateType.NAND, [False, True], True),
+            (GateType.OR, [False, False], False),
+            (GateType.OR, [False, True], True),
+            (GateType.NOR, [False, False], True),
+            (GateType.NOR, [True, False], False),
+            (GateType.XOR, [True, False], True),
+            (GateType.XOR, [True, True], False),
+            (GateType.XNOR, [True, True], True),
+            (GateType.XNOR, [True, False], False),
+        ],
+    )
+    def test_truth_tables(self, gtype, values, expected):
+        assert evaluate(gtype, values) is expected
+
+    def test_three_input_xor_is_parity(self):
+        for a in (False, True):
+            for b in (False, True):
+                for c in (False, True):
+                    assert evaluate(GateType.XOR, [a, b, c]) == (a ^ b ^ c)
+
+    def test_input_evaluation_raises(self):
+        with pytest.raises(CircuitError):
+            evaluate(GateType.INPUT, [])
+
+
+class TestControllingValues:
+    def test_and_family_controlled_by_zero(self):
+        assert CONTROLLING_VALUE[GateType.AND] is False
+        assert CONTROLLING_VALUE[GateType.NAND] is False
+
+    def test_or_family_controlled_by_one(self):
+        assert CONTROLLING_VALUE[GateType.OR] is True
+        assert CONTROLLING_VALUE[GateType.NOR] is True
+
+    def test_non_controlling_complements_controlling(self):
+        for gtype, value in CONTROLLING_VALUE.items():
+            assert NON_CONTROLLING_VALUE[gtype] is (not value)
+
+    def test_xor_class_has_no_controlling_value(self):
+        assert GateType.XOR not in CONTROLLING_VALUE
+        assert GateType.XNOR not in CONTROLLING_VALUE
+
+    def test_controlling_value_fixes_output(self):
+        for gtype, control in CONTROLLING_VALUE.items():
+            forced = evaluate(gtype, [control, False])
+            assert forced == evaluate(gtype, [control, True])
+
+
+@st.composite
+def word_inputs(draw):
+    gtype = draw(st.sampled_from(LOGIC_TYPES))
+    fanin = 1 if gtype in (GateType.BUF, GateType.NOT) else draw(
+        st.integers(min_value=2, max_value=4)
+    )
+    words = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=fanin,
+            max_size=fanin,
+        )
+    )
+    return gtype, [np.array([w], dtype=np.uint64) for w in words]
+
+
+class TestWordEvaluation:
+    @given(word_inputs())
+    def test_word_evaluation_matches_scalar(self, case):
+        """Bit-parallel evaluation agrees with scalar evaluation lane by
+        lane — the core contract the simulator relies on."""
+        gtype, words = case
+        result = evaluate_words(gtype, words)
+        for bit in range(64):
+            lane = [bool(int(w[0]) >> bit & 1) for w in words]
+            assert bool(int(result[0]) >> bit & 1) == evaluate(gtype, lane)
+
+    def test_word_evaluation_input_raises(self):
+        with pytest.raises(CircuitError):
+            evaluate_words(GateType.INPUT, [])
+
+    def test_buf_copies_not_aliases(self):
+        word = np.array([7], dtype=np.uint64)
+        out = evaluate_words(GateType.BUF, [word])
+        out[0] = np.uint64(0)
+        assert word[0] == 7

@@ -1,0 +1,52 @@
+"""Functional tests for the array multiplier (c6288-like)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.multiplier import array_multiplier
+from repro.errors import CircuitError
+from repro.logicsim.bitsim import BitParallelSimulator
+
+
+def multiply(circuit, width, a, b):
+    assignment = {f"a{k}": bool(a >> k & 1) for k in range(width)}
+    assignment.update({f"b{k}": bool(b >> k & 1) for k in range(width)})
+    values = BitParallelSimulator(circuit).simulate_one(assignment)
+    return sum(int(values[f"p{k}"]) << k for k in range(2 * width))
+
+
+class TestShape:
+    def test_c6288_shape(self):
+        circuit = array_multiplier(16, name="c6288")
+        stats = circuit.stats()
+        assert stats["inputs"] == 32
+        assert stats["outputs"] == 32
+        assert stats["gates"] > 1000
+
+    def test_width_one_rejected(self):
+        with pytest.raises(CircuitError):
+            array_multiplier(1)
+
+
+class TestFunction:
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=15),
+           b=st.integers(min_value=0, max_value=15))
+    def test_4x4_exhaustive_style(self, a, b):
+        circuit = array_multiplier(4)
+        assert multiply(circuit, 4, a, b) == a * b
+
+    @settings(max_examples=12, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=255),
+           b=st.integers(min_value=0, max_value=255))
+    def test_8x8_random(self, a, b):
+        circuit = array_multiplier(8)
+        assert multiply(circuit, 8, a, b) == a * b
+
+    @pytest.mark.parametrize(
+        "a,b", [(0, 0), (65535, 65535), (65535, 1), (32768, 2), (257, 255)]
+    )
+    def test_16x16_corners(self, a, b):
+        circuit = array_multiplier(16)
+        assert multiply(circuit, 16, a, b) == a * b

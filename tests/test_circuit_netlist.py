@@ -1,0 +1,159 @@
+"""Unit tests for the Circuit netlist structure."""
+
+import pytest
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitCycleError, CircuitError, UnknownGateError
+
+
+def build_small() -> Circuit:
+    circuit = Circuit("small")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("g1", GateType.AND, ["a", "b"])
+    circuit.add_gate("g2", GateType.NOT, ["g1"])
+    circuit.mark_output("g2")
+    return circuit
+
+
+class TestConstruction:
+    def test_duplicate_signal_rejected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_gate("a", GateType.NOT, ["a"])
+
+    def test_add_gate_rejects_input_type(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.add_gate("x", GateType.INPUT, [])
+
+    def test_duplicate_output_rejected(self):
+        circuit = build_small()
+        with pytest.raises(CircuitError):
+            circuit.mark_output("g2")
+
+    def test_unknown_gate_lookup_raises(self):
+        circuit = build_small()
+        with pytest.raises(UnknownGateError):
+            circuit.gate("missing")
+
+    def test_counts(self):
+        circuit = build_small()
+        assert len(circuit) == 4
+        assert circuit.gate_count == 2
+        assert circuit.inputs == ("a", "b")
+        assert circuit.outputs == ("g2",)
+
+    def test_contains(self):
+        circuit = build_small()
+        assert "g1" in circuit and "zz" not in circuit
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        build_small().validate()
+
+    def test_missing_fanin_detected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.AND, ["a", "ghost"])
+        circuit.mark_output("g")
+        with pytest.raises(UnknownGateError):
+            circuit.validate()
+
+    def test_cycle_detected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g1", GateType.AND, ["a", "g2"])
+        circuit.add_gate("g2", GateType.NOT, ["g1"])
+        circuit.mark_output("g2")
+        with pytest.raises(CircuitCycleError):
+            circuit.validate()
+
+    def test_no_inputs_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_undefined_output_rejected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.mark_output("ghost")
+        with pytest.raises(UnknownGateError):
+            circuit.validate()
+
+
+class TestDerivedStructure:
+    def test_topological_order_respects_dependencies(self, diamond):
+        order = diamond.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for gate in diamond:
+            for fanin in gate.fanins:
+                assert position[fanin] < position[gate.name]
+
+    def test_reverse_topological_is_reverse(self, diamond):
+        assert diamond.reverse_topological_order() == tuple(
+            reversed(diamond.topological_order())
+        )
+
+    def test_levels(self, diamond):
+        levels = diamond.levels()
+        assert levels["a"] == 0 and levels["b"] == 0
+        assert levels["root"] == 1
+        assert levels["top"] == 2 and levels["bottom"] == 2
+        assert levels["out"] == 3
+        assert diamond.depth() == 3
+
+    def test_fanouts(self, diamond):
+        assert set(diamond.fanouts("root")) == {"top", "bottom"}
+        assert diamond.fanouts("out") == ()
+
+    def test_fanin_cone(self, diamond):
+        cone = diamond.fanin_cone("out")
+        assert cone == {"out", "top", "bottom", "root", "a", "b"}
+
+    def test_fanout_cone(self, diamond):
+        assert diamond.fanout_cone("root") == {"root", "top", "bottom", "out"}
+
+    def test_observable_outputs(self, two_output):
+        assert two_output.observable_outputs("shared") == ("left", "right")
+        assert two_output.observable_outputs("c") == ("left",)
+
+    def test_levels_from_outputs(self, two_output):
+        levels = two_output.levels_from_outputs()
+        assert levels["left"] == 0 and levels["right"] == 0
+        assert levels["shared"] == 1
+
+    def test_dangling_signals(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_input("unused")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        circuit.mark_output("g")
+        assert circuit.dangling_signals() == ("unused",)
+
+    def test_cache_invalidation_on_mutation(self, diamond):
+        first = diamond.topological_order()
+        diamond.add_gate("extra", GateType.NOT, ["out"])
+        second = diamond.topological_order()
+        assert "extra" in second and "extra" not in first
+
+    def test_copy_is_independent(self, diamond):
+        duplicate = diamond.copy("dup")
+        duplicate.add_gate("extra", GateType.NOT, ["out"])
+        assert "extra" in duplicate and "extra" not in diamond
+
+    def test_gate_type_counts(self, diamond):
+        counts = diamond.gate_type_counts()
+        assert counts[GateType.AND] == 1
+        assert counts[GateType.NAND] == 1
+        assert sum(counts.values()) == diamond.gate_count
+
+    def test_stats(self, diamond):
+        assert diamond.stats() == {
+            "inputs": 2, "outputs": 1, "gates": 4, "depth": 3,
+        }

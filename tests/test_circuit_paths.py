@@ -1,0 +1,136 @@
+"""Tests for path counting, enumeration, sampling and the topology matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.gate import GateType
+from repro.circuit.generator import GeneratorSpec, generate_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuit.paths import (
+    collect_paths,
+    count_paths,
+    downstream_path_counts,
+    enumerate_paths,
+    sample_paths,
+    topology_matrix,
+)
+from repro.errors import CircuitError
+
+
+class TestCounting:
+    def test_chain_has_one_path(self, chain4):
+        assert count_paths(chain4) == 1
+
+    def test_diamond_counts(self, diamond):
+        # a->root->top->out, a->root->bottom->out, same via b: 4 total.
+        assert count_paths(diamond) == 4
+
+    def test_counts_match_enumeration(self, c17):
+        assert count_paths(c17) == len(list(enumerate_paths(c17)))
+
+    def test_po_feeding_logic_counts_both(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        mid = circuit.add_gate("mid", GateType.NOT, [a])
+        out2 = circuit.add_gate("out2", GateType.NOT, [mid])
+        circuit.mark_output(mid)   # mid is a PO *and* drives out2
+        circuit.mark_output(out2)
+        assert count_paths(circuit) == 2
+
+    def test_downstream_counts_at_inputs(self, diamond):
+        counts = downstream_path_counts(diamond)
+        assert counts["a"] == 2 and counts["b"] == 2
+
+
+class TestEnumeration:
+    def test_paths_are_gate_sequences(self, diamond):
+        paths = set(enumerate_paths(diamond))
+        assert ("root", "top", "out") in paths
+        assert ("root", "bottom", "out") in paths
+        assert len(paths) == 2  # distinct gate sequences (from a and b)
+
+    def test_limit_respected(self, c432):
+        limited = list(enumerate_paths(c432, limit=10))
+        assert len(limited) == 10
+
+    def test_every_path_starts_after_pi_and_ends_at_po(self, c17):
+        for path in enumerate_paths(c17):
+            first, last = path[0], path[-1]
+            assert any(
+                c17.gate(f).is_input for f in c17.gate(first).fanins
+            )
+            assert c17.is_output(last)
+
+
+class TestSampling:
+    def test_sampling_is_deterministic(self, c432):
+        assert sample_paths(c432, 20, seed=3) == sample_paths(c432, 20, seed=3)
+
+    def test_sampled_paths_are_real(self, c432):
+        real = None
+        for path in sample_paths(c432, 30, seed=1):
+            # Verify consecutive gates are actually connected.
+            for src, dst in zip(path, path[1:]):
+                assert src in c432.gate(dst).fanins
+            assert c432.is_output(path[-1])
+            real = path
+        assert real is not None
+
+    def test_small_circuit_sampling_covers_all(self, c17):
+        # Distinct gate sequences (several PIs can share one sequence,
+        # since primary inputs carry no delay and are excluded).
+        distinct = set(enumerate_paths(c17))
+        sampled = set(sample_paths(c17, 600, seed=0))
+        assert sampled == distinct
+
+    def test_invalid_count_rejected(self, c17):
+        with pytest.raises(CircuitError):
+            sample_paths(c17, 0)
+
+
+class TestCollectAndMatrix:
+    def test_collect_exhaustive_when_small(self, c17):
+        paths = collect_paths(c17, max_paths=10_000)
+        assert len(paths) == count_paths(c17)
+
+    def test_collect_includes_extra(self, c17):
+        extra = list(enumerate_paths(c17, limit=1))
+        paths = collect_paths(c17, max_paths=3, extra=extra)
+        assert extra[0] in paths
+
+    def test_topology_matrix_shape_and_content(self, diamond):
+        paths = list(enumerate_paths(diamond))
+        order = [g.name for g in diamond.gates()]
+        matrix = topology_matrix(paths, order)
+        assert matrix.shape == (len(paths), len(order))
+        index = {name: i for i, name in enumerate(order)}
+        for row, path in enumerate(paths):
+            for name in order:
+                assert matrix[row, index[name]] == (1.0 if name in path else 0.0)
+
+    def test_matrix_rejects_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            topology_matrix([("ghost",)], ["real"])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_path_delay_via_matrix_equals_direct_sum(self, seed):
+        """T @ d reproduces per-path delay sums on random circuits."""
+        spec = GeneratorSpec("pm", 5, 3, 40, 5, seed=seed)
+        circuit = generate_circuit(spec)
+        paths = collect_paths(circuit, max_paths=50, seed=seed)
+        order = [
+            n for n in circuit.topological_order()
+            if not circuit.gate(n).is_input
+        ]
+        rng = np.random.default_rng(seed)
+        delays = {name: float(rng.uniform(1.0, 10.0)) for name in order}
+        matrix = topology_matrix(paths, order)
+        vector = np.array([delays[n] for n in order])
+        products = matrix @ vector
+        for row, path in enumerate(paths):
+            assert products[row] == pytest.approx(
+                sum(delays[n] for n in path)
+            )

@@ -1,0 +1,181 @@
+"""Tests for logical masking (Equation 2) and the electrical-masking pass,
+including the paper's Lemma 1 as a property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.gate import GateType
+from repro.circuit.generator import GeneratorSpec, generate_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.core.electrical_masking import (
+    default_sample_widths,
+    electrical_masking,
+)
+from repro.core.masking import (
+    propagation_shares,
+    sensitization_to_input,
+    verify_share_identity,
+)
+from repro.errors import AnalysisError
+from repro.logicsim.probability import static_probabilities
+from repro.logicsim.sensitization import sensitization_probabilities
+from repro.tech.library import ParameterAssignment
+
+
+class TestSensitizationToInput:
+    def test_and_gate_uses_other_inputs_one_probability(self, two_output):
+        probs = static_probabilities(two_output)
+        s = sensitization_to_input(two_output, probs, "shared", "left")
+        assert s == pytest.approx(probs["c"])
+
+    def test_nor_gate_uses_zero_probability(self, two_output):
+        probs = static_probabilities(two_output)
+        s = sensitization_to_input(two_output, probs, "shared", "right")
+        assert s == pytest.approx(1.0 - probs["a"])
+
+    def test_single_input_always_sensitized(self, chain4):
+        probs = static_probabilities(chain4)
+        assert sensitization_to_input(chain4, probs, "n0", "n1") == 1.0
+
+    def test_xor_always_sensitized(self):
+        circuit = Circuit()
+        a, b = circuit.add_input("a"), circuit.add_input("b")
+        y = circuit.add_gate("y", GateType.XOR, [a, b])
+        circuit.mark_output(y)
+        probs = static_probabilities(circuit, 0.9)
+        assert sensitization_to_input(circuit, probs, "a", "y") == 1.0
+
+    def test_non_fanin_rejected(self, chain4):
+        probs = static_probabilities(chain4)
+        with pytest.raises(AnalysisError):
+            sensitization_to_input(chain4, probs, "n0", "n3")
+
+
+class TestEquationTwo:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_share_identity_holds(self, seed):
+        """The paper's stated normalization: sum_s pi_isj P_sj = P_ij."""
+        spec = GeneratorSpec("eq2", 6, 3, 50, 5, seed=seed)
+        circuit = generate_circuit(spec)
+        probs = static_probabilities(circuit)
+        paths = sensitization_probabilities(circuit, 600, seed=seed)
+        checked = 0
+        for gate in circuit.gates():
+            for out in circuit.outputs:
+                total, p_ij = verify_share_identity(
+                    circuit, probs, paths, gate.name, out
+                )
+                if total > 0.0:  # identity applies when a route exists
+                    assert total == pytest.approx(p_ij, rel=1e-9)
+                    checked += 1
+        assert checked > 0
+
+    def test_shares_empty_when_unreachable(self, two_output):
+        probs = static_probabilities(two_output)
+        paths = sensitization_probabilities(two_output, 400, seed=1)
+        assert propagation_shares(two_output, probs, paths, "c", "right") == {}
+
+    def test_shares_nonnegative_and_route_restricted(self, c432):
+        probs = static_probabilities(c432)
+        paths = sensitization_probabilities(c432, 500, seed=2)
+        some = 0
+        for gate in list(c432.gates())[:40]:
+            for out in c432.outputs:
+                shares = propagation_shares(c432, probs, paths, gate.name, out)
+                for successor, value in shares.items():
+                    assert value >= 0.0
+                    assert successor in c432.fanouts(gate.name)
+                some += len(shares)
+        assert some > 0
+
+
+class TestElectricalMaskingPass:
+    def _run(self, circuit, n_vectors=500, seed=3, n_samples=10):
+        analyzer = AsertaAnalyzer(
+            circuit, AsertaConfig(n_vectors=n_vectors, seed=seed)
+        )
+        elec = analyzer.electrical_view(ParameterAssignment())
+        samples = default_sample_widths(elec, n_samples)
+        result = electrical_masking(
+            circuit, elec, analyzer.probabilities,
+            analyzer.sensitized_paths, samples,
+        )
+        return analyzer, elec, result
+
+    def test_po_gate_table_is_identity(self, c17):
+        __, elec, result = self._run(c17)
+        for out in c17.outputs:
+            np.testing.assert_allclose(
+                result.tables[out][out], result.sample_widths
+            )
+            assert result.expected[out][out] == pytest.approx(
+                elec.generated_width_ps[out]
+            )
+
+    def test_expected_widths_bounded_by_generated(self, c17):
+        """No pass can widen a glitch (Equation 1 never amplifies) and
+        probabilistic weighting only shrinks expectations."""
+        __, elec, result = self._run(c17)
+        for gate in c17.gates():
+            for out, value in result.expected[gate.name].items():
+                assert value <= elec.generated_width_ps[gate.name] + 1e-6
+
+    def test_lemma1_wide_glitch(self, c432):
+        """Lemma 1: the widest sample arrives with expected width
+        ww * P_ij (up to interpolation in the final lookup)."""
+        analyzer, elec, result = self._run(c432, n_vectors=1500)
+        wide = result.sample_widths[-1]
+        paths = analyzer.sensitized_paths
+        checked = 0
+        for gate in c432.gates():
+            if c432.is_output(gate.name):
+                continue
+            for out, table in result.tables.get(gate.name, {}).items():
+                p_ij = paths[gate.name].get(out, 0.0)
+                if p_ij > 0.0:
+                    assert table[-1] == pytest.approx(wide * p_ij, rel=1e-6)
+                    checked += 1
+        assert checked > 50
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_lemma1_on_random_circuits(self, seed):
+        spec = GeneratorSpec("lem", 5, 2, 30, 4, seed=seed)
+        circuit = generate_circuit(spec)
+        analyzer = AsertaAnalyzer(
+            circuit, AsertaConfig(n_vectors=400, seed=seed)
+        )
+        elec = analyzer.electrical_view(ParameterAssignment())
+        samples = default_sample_widths(elec, 8)
+        result = electrical_masking(
+            circuit, elec, analyzer.probabilities,
+            analyzer.sensitized_paths, samples,
+        )
+        wide = samples[-1]
+        for gate in circuit.gates():
+            if circuit.is_output(gate.name):
+                continue
+            for out, table in result.tables.get(gate.name, {}).items():
+                p_ij = analyzer.sensitized_paths[gate.name].get(out, 0.0)
+                if p_ij > 0.0:
+                    assert table[-1] == pytest.approx(wide * p_ij, rel=1e-6)
+
+    def test_sample_widths_must_increase(self, c17, c17_analyzer):
+        elec = c17_analyzer.electrical_view(ParameterAssignment())
+        with pytest.raises(AnalysisError):
+            electrical_masking(
+                c17, elec, c17_analyzer.probabilities,
+                c17_analyzer.sensitized_paths, np.array([5.0, 5.0]),
+            )
+
+    def test_default_sample_widths_span_regimes(self, c17, c17_analyzer):
+        elec = c17_analyzer.electrical_view(ParameterAssignment())
+        samples = default_sample_widths(elec, 10)
+        assert len(samples) == 10
+        assert samples[0] <= min(elec.delay_ps.values())
+        assert samples[-1] >= 2.0 * max(elec.delay_ps.values())
+        assert samples[-1] >= max(elec.generated_width_ps.values())

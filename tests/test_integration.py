@@ -1,0 +1,144 @@
+"""Cross-module integration tests: the full pipelines, end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AsertaAnalyzer,
+    AsertaConfig,
+    CellLibrary,
+    Sertopt,
+    SertoptConfig,
+    iscas85_circuit,
+    parse_bench,
+    write_bench,
+)
+from repro.analysis.correlation import correlate_reports
+from repro.core.baseline import size_for_speed
+from repro.core.sertopt import SertoptConfig
+from repro.spice import transient_unreliability
+from repro.sta.timing import analyze_timing
+from repro.tech.electrical_view import CircuitElectrical
+
+
+class TestAnalysisPipeline:
+    def test_aserta_agrees_with_reference_on_c432(self, c432):
+        """The Fig-3 claim at test scale: strong per-gate correlation
+        between the probabilistic analyzer and the vector-accurate
+        transient reference."""
+        analyzer = AsertaAnalyzer(c432, AsertaConfig(n_vectors=2000, seed=7))
+        aserta = analyzer.analyze().unreliability
+        reference = transient_unreliability(c432, n_vectors=25, seed=7)
+        result = correlate_reports(
+            c432, aserta, reference, max_levels_from_output=5
+        )
+        assert result.correlation > 0.75
+
+    def test_roundtripped_circuit_analyzes_identically(self, c17):
+        """bench write -> parse -> analyze gives identical unreliability."""
+        rebuilt = parse_bench(write_bench(c17), name="c17")
+        a = AsertaAnalyzer(c17, AsertaConfig(n_vectors=500, seed=3)).analyze()
+        b = AsertaAnalyzer(rebuilt, AsertaConfig(n_vectors=500, seed=3)).analyze()
+        assert a.total == pytest.approx(b.total)
+
+    def test_user_supplied_bench_file_runs_through_tools(self, tmp_path):
+        """A netlist loaded from disk (the real-ISCAS path) works with
+        every tool in the library."""
+        source = write_bench(iscas85_circuit("c17"))
+        path = tmp_path / "user.bench"
+        path.write_text(source)
+        from repro import parse_bench_file
+
+        circuit = parse_bench_file(path)
+        analyzer = AsertaAnalyzer(circuit, AsertaConfig(n_vectors=400, seed=1))
+        report = analyzer.analyze()
+        assert report.total > 0.0
+        result = Sertopt(
+            circuit,
+            config=SertoptConfig(
+                max_evaluations=10, aserta=AsertaConfig(n_vectors=400, seed=1)
+            ),
+        ).optimize()
+        assert result.optimized.total <= result.baseline.total + 1e-9
+
+
+class TestOptimizationPipeline:
+    def test_sizing_only_mode(self, c432):
+        """The paper's fallback: sizing-only optimization still runs and
+        never worsens the cost."""
+        config = SertoptConfig(
+            max_evaluations=25, aserta=AsertaConfig(n_vectors=1000, seed=1)
+        )
+        result = Sertopt(
+            c432, library=CellLibrary.sizing_only(), config=config
+        ).optimize()
+        assert result.vdds_used() == (1.0,)
+        assert result.vths_used() == (0.2,)
+        assert result.optimized.total <= result.baseline.total + 1e-9
+
+    def test_svd_delay_space_in_flow(self, c432):
+        """The literal paper construction (sampled T + SVD nullspace)
+        remains usable through the DelaySpace API."""
+        from repro.core.delay_assignment import DelaySpace
+
+        elec = CircuitElectrical(
+            c432, size_for_speed(c432), use_tables=False
+        )
+        space = DelaySpace(
+            c432, elec.delay_ps, max_paths=150, method="svd", max_dimension=6
+        )
+        x = np.zeros(space.dimension)
+        if space.dimension:
+            x[0] = 3.0
+        assert space.path_delay_residual(x) < 1e-6
+
+    def test_optimized_circuit_respects_timing_envelope(self, c432):
+        config = SertoptConfig(
+            max_evaluations=30, aserta=AsertaConfig(n_vectors=1000, seed=2)
+        )
+        library = CellLibrary.paper_library(vdds=(0.8, 1.0), vths=(0.2, 0.3))
+        result = Sertopt(c432, library=library, config=config).optimize()
+        baseline_elec = CircuitElectrical(
+            c432, result.baseline_assignment, use_tables=False
+        )
+        optimized_elec = CircuitElectrical(
+            c432, result.optimized_assignment, use_tables=False
+        )
+        base_t = analyze_timing(c432, baseline_elec.delay_ps).delay_ps
+        opt_t = analyze_timing(c432, optimized_elec.delay_ps).delay_ps
+        cap = config.weights.timing_cap
+        assert opt_t <= base_t * (cap + 0.12)
+
+    def test_table1_contrast_c432_vs_c499(self):
+        """The paper's central qualitative claim, end to end: the
+        control-logic circuit hardens substantially, the
+        error-correcting circuit barely moves."""
+        from repro.experiments.common import ExperimentScale
+        from repro.experiments.table1_optimization import optimize_circuit
+
+        scale = ExperimentScale.fast()
+        c432_result = optimize_circuit("c432", scale)
+        c499_result = optimize_circuit("c499", scale)
+        assert c432_result.unreliability_reduction > 0.15
+        assert (
+            c499_result.unreliability_reduction
+            < c432_result.unreliability_reduction
+        )
+
+
+class TestChargeExtension:
+    def test_unreliability_negligible_below_critical_charge(self, c17_analyzer):
+        """Sub-critical strikes are (nearly) harmless.  The interpolated
+        charge axis leaves a small linear foot between the 0 fC and
+        2 fC grid points, so "zero" means "well under a percent of the
+        nominal strike's unreliability"."""
+        tiny = c17_analyzer.analyze(charge_fc=0.05).total
+        nominal = c17_analyzer.analyze(charge_fc=16.0).total
+        assert tiny < 0.02 * nominal
+        assert c17_analyzer.analyze(charge_fc=0.0).total == 0.0
+
+    def test_charge_axis_interpolates_between_grid_points(self, c432_analyzer):
+        mid = c432_analyzer.analyze(charge_fc=12.0).total
+        low = c432_analyzer.analyze(charge_fc=8.0).total
+        high = c432_analyzer.analyze(charge_fc=16.0).total
+        assert low <= mid <= high

@@ -1,0 +1,88 @@
+"""Tests for units, errors, Verilog export, and the public API surface."""
+
+import math
+
+import pytest
+
+from repro import errors, units
+from repro.circuit.verilog_io import write_verilog, write_verilog_file
+
+
+class TestUnits:
+    def test_discharge_time(self):
+        # 1 fC at 1 uA takes 1 ns = 1000 ps.
+        assert units.discharge_time_ps(1.0, 1.0) == pytest.approx(1000.0)
+        assert math.isinf(units.discharge_time_ps(1.0, 0.0))
+
+    def test_charge(self):
+        assert units.charge_fc(2.0, 0.5) == 1.0
+
+    def test_dynamic_energy(self):
+        assert units.dynamic_energy_fj(2.0, 1.0) == 2.0
+        assert units.dynamic_energy_fj(2.0, 2.0) == 8.0
+
+    def test_leakage_energy(self):
+        # 1 uA at 1 V over 1000 ps = 1 fJ.
+        assert units.leakage_energy_fj(1.0, 1.0, 1000.0) == pytest.approx(1.0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            errors.CircuitError,
+            errors.BenchFormatError,
+            errors.TechnologyError,
+            errors.TableError,
+            errors.LibraryError,
+            errors.SimulationError,
+            errors.AnalysisError,
+            errors.OptimizationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+        assert issubclass(errors.CircuitCycleError, errors.CircuitError)
+        assert issubclass(errors.UnknownGateError, errors.CircuitError)
+
+
+class TestVerilogExport:
+    def test_c17_export(self, c17):
+        text = write_verilog(c17)
+        assert "module c17" in text
+        assert text.count("nand ") == 6
+        assert "endmodule" in text
+        for name in c17.inputs:
+            # c17 names are numeric, so they appear as escaped identifiers.
+            assert f"input \\{name} ;" in text
+
+    def test_escaped_identifiers(self, c17):
+        # c17 signal names are numeric -> must be escaped.
+        text = write_verilog(c17)
+        assert "\\10 " in text
+
+    def test_file_export(self, tmp_path, c17):
+        path = tmp_path / "c17.v"
+        write_verilog_file(c17, path)
+        assert path.read_text().startswith("module")
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quick_workflow(self):
+        """The README quickstart, in miniature."""
+        import repro
+
+        circuit = repro.iscas85_circuit("c17")
+        analyzer = repro.AsertaAnalyzer(
+            circuit, repro.AsertaConfig(n_vectors=300, seed=1)
+        )
+        report = analyzer.analyze()
+        assert report.total > 0.0

@@ -1,0 +1,125 @@
+"""Tests for the transient reference simulator and its harnesses."""
+
+import pytest
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import SimulationError
+from repro.spice.harness import (
+    random_vectors,
+    transient_unreliability,
+    vector_average_output_widths,
+)
+from repro.spice.transient import TransientSimulator
+from repro.tech.glitch import propagate_width
+from repro.tech.library import CellParams, ParameterAssignment
+
+
+class TestInjection:
+    def test_strike_on_po_gate_reaches_latch(self, chain4):
+        sim = TransientSimulator(chain4)
+        po = chain4.outputs[0]
+        vector = {"a": False}
+        widths = sim.inject(po, input_vector=vector)
+        assert widths == {po: pytest.approx(sim.electrical.generated_width_ps[po])}
+
+    def test_inverter_chain_attenuates_stepwise(self, chain4):
+        """Width after each stage follows Equation 1 with that stage's
+        delay — the transient simulator is Eq-1-exact on a chain."""
+        sim = TransientSimulator(chain4)
+        vector = {"a": True}
+        widths = sim.inject("n0", input_vector=vector)
+        expected = sim.electrical.generated_width_ps["n0"]
+        for stage in ("n1", "n2", "n3"):
+            expected = propagate_width(expected, sim.electrical.delay_ps[stage])
+        po = chain4.outputs[0]
+        if expected > 0.0:
+            assert widths[po] == pytest.approx(expected)
+        else:
+            assert po not in widths
+
+    def test_logical_masking_blocks_glitch(self):
+        """AND gate with the side input at 0 masks the glitch."""
+        circuit = Circuit()
+        a, b = circuit.add_input("a"), circuit.add_input("b")
+        victim = circuit.add_gate("victim", GateType.NOT, [a])
+        out = circuit.add_gate("out", GateType.AND, [victim, b])
+        circuit.mark_output(out)
+        sim = TransientSimulator(circuit)
+        masked = sim.inject("victim", input_vector={"a": False, "b": False})
+        passed = sim.inject("victim", input_vector={"a": False, "b": True})
+        assert "out" not in masked
+        assert "out" in passed
+
+    def test_xor_always_propagates(self):
+        circuit = Circuit()
+        a, b = circuit.add_input("a"), circuit.add_input("b")
+        victim = circuit.add_gate("victim", GateType.NOT, [a])
+        out = circuit.add_gate("out", GateType.XOR, [victim, b])
+        circuit.mark_output(out)
+        sim = TransientSimulator(circuit)
+        for b_value in (False, True):
+            widths = sim.inject(
+                "victim", input_vector={"a": True, "b": b_value}
+            )
+            assert "out" in widths
+
+    def test_strike_on_input_rejected(self, c17):
+        sim = TransientSimulator(c17)
+        with pytest.raises(SimulationError):
+            sim.inject("1", input_vector={})
+
+    def test_values_reusable_across_strikes(self, c17):
+        sim = TransientSimulator(c17)
+        vector = {"1": True, "2": False, "3": True, "6": False, "7": True}
+        values = sim.logic_values(vector)
+        for gate in c17.gates():
+            by_values = sim.inject(gate.name, values=values)
+            direct = sim.inject(gate.name, input_vector=vector)
+            assert by_values == direct
+
+    def test_missing_vector_rejected(self, c17):
+        sim = TransientSimulator(c17)
+        with pytest.raises(SimulationError):
+            sim.inject("10")
+
+
+class TestHarness:
+    def test_random_vectors_deterministic(self, c17):
+        assert random_vectors(c17, 5, seed=3) == random_vectors(c17, 5, seed=3)
+        assert random_vectors(c17, 5, seed=3) != random_vectors(c17, 5, seed=4)
+
+    def test_report_structure(self, c17):
+        report = transient_unreliability(c17, n_vectors=10, seed=2)
+        assert report.circuit_name == "c17"
+        assert set(report.per_gate) == {g.name for g in c17.gates()}
+        assert report.total > 0.0
+
+    def test_gate_subset(self, c17):
+        report = transient_unreliability(
+            c17, n_vectors=5, seed=2, gates=["10", "11"]
+        )
+        assert set(report.per_gate) == {"10", "11"}
+
+    def test_size_weighting(self, chain4):
+        big = ParameterAssignment(default=CellParams(size=2.0))
+        small = ParameterAssignment()
+        u_small = transient_unreliability(chain4, small, n_vectors=5, seed=1)
+        u_big = transient_unreliability(chain4, big, n_vectors=5, seed=1)
+        for name, entry in u_big.per_gate.items():
+            assert entry.size == 2.0
+        assert u_small.per_gate["n3"].size == 1.0
+
+    def test_scalar_equals_report_total(self, c17):
+        total = vector_average_output_widths(c17, n_vectors=8, seed=9)
+        report = transient_unreliability(c17, n_vectors=8, seed=9)
+        assert total == pytest.approx(report.total)
+
+    def test_tables_mode_close_to_continuous(self, c17, tables):
+        reference = vector_average_output_widths(
+            c17, n_vectors=10, seed=4, use_tables=False
+        )
+        interpolated = vector_average_output_widths(
+            c17, n_vectors=10, seed=4, use_tables=True, tables=tables
+        )
+        assert interpolated == pytest.approx(reference, rel=0.25)

@@ -1,0 +1,108 @@
+"""Tests for static timing analysis and the energy/area models."""
+
+import pytest
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.logicsim.probability import static_probabilities
+from repro.power.area import circuit_area
+from repro.power.energy import circuit_energy
+from repro.sta.timing import analyze_timing, critical_path
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.library import CellParams, ParameterAssignment
+
+
+class TestTiming:
+    def test_chain_delay_is_sum(self, chain4):
+        delays = {f"n{k}": float(k + 1) for k in range(4)}
+        report = analyze_timing(chain4, delays)
+        assert report.delay_ps == pytest.approx(10.0)
+        assert report.arrival_ps["n3"] == pytest.approx(10.0)
+
+    def test_diamond_takes_longest_branch(self, diamond):
+        delays = {"root": 1.0, "top": 5.0, "bottom": 1.0, "out": 1.0}
+        report = analyze_timing(diamond, delays)
+        assert report.delay_ps == pytest.approx(7.0)
+
+    def test_slack_zero_on_critical_path(self, diamond):
+        delays = {"root": 1.0, "top": 5.0, "bottom": 1.0, "out": 1.0}
+        report = analyze_timing(diamond, delays)
+        for name in ("root", "top", "out"):
+            assert report.slack_ps(name) == pytest.approx(0.0)
+        assert report.slack_ps("bottom") == pytest.approx(4.0)
+        assert report.worst_slack_ps() == pytest.approx(0.0)
+
+    def test_critical_path_extraction(self, diamond):
+        delays = {"root": 1.0, "top": 5.0, "bottom": 1.0, "out": 1.0}
+        assert critical_path(diamond, delays) == ("root", "top", "out")
+
+    def test_missing_delay_rejected(self, chain4):
+        with pytest.raises(AnalysisError):
+            analyze_timing(chain4, {"n0": 1.0})
+
+    def test_negative_delay_rejected(self, chain4):
+        delays = {f"n{k}": 1.0 for k in range(4)}
+        delays["n2"] = -1.0
+        with pytest.raises(AnalysisError):
+            analyze_timing(chain4, delays)
+
+    def test_multi_output_required_times(self, two_output):
+        delays = {"shared": 2.0, "left": 1.0, "right": 4.0}
+        report = analyze_timing(two_output, delays)
+        assert report.delay_ps == pytest.approx(6.0)
+        # 'shared' must feed 'right' (critical); its slack is 0.
+        assert report.slack_ps("shared") == pytest.approx(0.0)
+        assert report.slack_ps("left") == pytest.approx(3.0)
+
+
+class TestEnergyArea:
+    def test_energy_report_sums(self, c17, nominal):
+        view = CircuitElectrical(c17, nominal, use_tables=False)
+        probs = static_probabilities(c17)
+        report = circuit_energy(c17, view, probs)
+        assert report.total_fj == pytest.approx(
+            report.dynamic_fj + report.static_fj
+        )
+        assert report.dynamic_fj == pytest.approx(
+            sum(report.per_gate_dynamic_fj.values())
+        )
+        assert report.total_fj > 0.0
+
+    def test_higher_vdd_costs_energy(self, c17):
+        probs = static_probabilities(c17)
+        low = ParameterAssignment(default=CellParams(vdd=0.8))
+        high = ParameterAssignment(default=CellParams(vdd=1.2))
+        e_low = circuit_energy(
+            c17, CircuitElectrical(c17, low, use_tables=False), probs
+        )
+        e_high = circuit_energy(
+            c17, CircuitElectrical(c17, high, use_tables=False), probs
+        )
+        assert e_high.total_fj > e_low.total_fj
+
+    def test_lower_vth_leaks_more(self, c17):
+        probs = static_probabilities(c17)
+        leaky = ParameterAssignment(default=CellParams(vth=0.1))
+        tight = ParameterAssignment(default=CellParams(vth=0.3))
+        e_leaky = circuit_energy(
+            c17, CircuitElectrical(c17, leaky, use_tables=False), probs
+        )
+        e_tight = circuit_energy(
+            c17, CircuitElectrical(c17, tight, use_tables=False), probs
+        )
+        assert e_leaky.static_fj > 5.0 * e_tight.static_fj
+
+    def test_constant_node_consumes_no_dynamic_energy(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        out = circuit.add_gate("out", GateType.OR, [a, circuit.add_input("b")])
+        circuit.mark_output(out)
+        view = CircuitElectrical(circuit, ParameterAssignment(), use_tables=False)
+        probs = {"a": 1.0, "b": 1.0, "out": 1.0}  # never toggles
+        report = circuit_energy(circuit, view, probs)
+        assert report.dynamic_fj == 0.0
+
+    def test_area_matches_view(self, c17, nominal):
+        view = CircuitElectrical(c17, nominal, use_tables=False)
+        assert circuit_area(c17, view) == pytest.approx(view.total_area())

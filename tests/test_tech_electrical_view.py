@@ -1,0 +1,97 @@
+"""Tests for the per-circuit electrical annotation."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import constants as k
+from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.library import CellParams, ParameterAssignment
+
+
+class TestAnnotation:
+    def test_every_logic_gate_annotated(self, c432, nominal, tables):
+        view = CircuitElectrical(c432, nominal, tables=tables)
+        for gate in c432.gates():
+            assert view.delay_ps[gate.name] > 0.0
+            assert view.generated_width_ps[gate.name] >= 0.0
+            assert view.load_ff[gate.name] > 0.0
+            assert view.output_ramp_ps[gate.name] > 0.0
+
+    def test_primary_inputs_have_ramp_only(self, c17, nominal):
+        view = CircuitElectrical(c17, nominal, use_tables=False)
+        for name in c17.inputs:
+            assert view.output_ramp_ps[name] == k.PRIMARY_INPUT_RAMP_PS
+            assert name not in view.delay_ps
+
+    def test_po_load_includes_latch(self, chain4, nominal):
+        view = CircuitElectrical(chain4, nominal, use_tables=False)
+        po = chain4.outputs[0]
+        internal = "n0"
+        assert view.load_ff[po] > view.load_ff[internal]
+        assert view.load_ff[po] >= k.LATCH_CAP_FF
+
+    def test_fanout_increases_load(self, diamond, nominal):
+        view = CircuitElectrical(diamond, nominal, use_tables=False)
+        # "root" drives two gates, "top" drives one.
+        assert view.load_ff["root"] > view.load_ff["top"] - k.LATCH_CAP_FF
+
+    def test_tables_and_continuous_agree_at_nominal(self, c17, nominal, tables):
+        """The nominal cell sits on every grid axis, so table and model
+        paths must coincide (up to load/ramp interpolation)."""
+        with_tables = CircuitElectrical(c17, nominal, tables=tables)
+        continuous = CircuitElectrical(c17, nominal, use_tables=False)
+        for gate in c17.gates():
+            assert with_tables.delay_ps[gate.name] == pytest.approx(
+                continuous.delay_ps[gate.name], rel=0.1
+            )
+
+    def test_bigger_cells_widen_loads_upstream(self, chain4):
+        small = ParameterAssignment()
+        big = ParameterAssignment()
+        big.set("n1", CellParams(size=4.0))
+        view_small = CircuitElectrical(chain4, small, use_tables=False)
+        view_big = CircuitElectrical(chain4, big, use_tables=False)
+        assert view_big.load_ff["n0"] > view_small.load_ff["n0"]
+        assert view_big.delay_ps["n0"] > view_small.delay_ps["n0"]
+
+    def test_charge_validation(self, c17, nominal):
+        with pytest.raises(TechnologyError):
+            CircuitElectrical(c17, nominal, charge_fc=-1.0)
+        with pytest.raises(TechnologyError):
+            CircuitElectrical(c17, nominal, clock_period_ps=0.0)
+
+
+class TestAggregates:
+    def test_area_additive(self, c17, nominal):
+        view = CircuitElectrical(c17, nominal, use_tables=False)
+        assert view.total_area() == pytest.approx(
+            sum(view.area_units.values())
+        )
+
+    def test_upsizing_increases_area(self, c17):
+        nominal_view = CircuitElectrical(
+            c17, ParameterAssignment(), use_tables=False
+        )
+        big = ParameterAssignment(default=CellParams(size=2.0))
+        big_view = CircuitElectrical(c17, big, use_tables=False)
+        assert big_view.total_area() == pytest.approx(
+            2.0 * nominal_view.total_area()
+        )
+
+    def test_static_energy_scales_with_clock(self, c17, nominal):
+        short = CircuitElectrical(
+            c17, nominal, use_tables=False, clock_period_ps=500.0
+        )
+        long = CircuitElectrical(
+            c17, nominal, use_tables=False, clock_period_ps=1000.0
+        )
+        assert long.static_energy_fj() == pytest.approx(
+            2.0 * short.static_energy_fj()
+        )
+
+    def test_gate_size_reports_assignment(self, c17):
+        assignment = ParameterAssignment()
+        assignment.set("10", CellParams(size=3.0))
+        view = CircuitElectrical(c17, assignment, use_tables=False)
+        assert view.gate_size("10") == 3.0
+        assert view.gate_size("11") == 1.0

@@ -1,0 +1,123 @@
+"""Property tests for Equation 1 and the glitch-generation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TechnologyError
+from repro.tech import constants as k
+from repro.tech.glitch import (
+    critical_charge_fc,
+    generated_width_ps,
+    propagate_width,
+    propagate_width_array,
+)
+
+widths = st.floats(min_value=0.0, max_value=5000.0)
+delays = st.floats(min_value=0.0, max_value=1000.0)
+
+
+class TestEquationOne:
+    def test_fully_masked_region(self):
+        assert propagate_width(10.0, 20.0) == 0.0
+
+    def test_attenuating_region(self):
+        assert propagate_width(30.0, 20.0) == pytest.approx(20.0)
+
+    def test_pass_through_region(self):
+        assert propagate_width(100.0, 20.0) == 100.0
+
+    def test_boundaries_are_continuous(self):
+        d = 25.0
+        eps = 1e-7
+        assert propagate_width(d - eps, d) == 0.0
+        assert propagate_width(d, d) == pytest.approx(0.0, abs=1e-6)
+        assert propagate_width(2 * d, d) == pytest.approx(2 * d)
+        assert propagate_width(2 * d + eps, d) == pytest.approx(2 * d, abs=1e-5)
+
+    @given(w=widths, d=delays)
+    @settings(max_examples=100, deadline=None)
+    def test_output_never_exceeds_input(self, w, d):
+        assert propagate_width(w, d) <= w + 1e-12
+
+    @given(w=widths, d=delays)
+    @settings(max_examples=100, deadline=None)
+    def test_output_nonnegative(self, w, d):
+        assert propagate_width(w, d) >= 0.0
+
+    @given(w=widths, d=delays, dw=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_input_width(self, w, d, dw):
+        assert propagate_width(w + dw, d) >= propagate_width(w, d) - 1e-9
+
+    @given(w=widths, d=delays, dd=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_antimonotone_in_delay(self, w, d, dd):
+        """Slower gates attenuate at least as much (paper Section 2)."""
+        assert propagate_width(w, d + dd) <= propagate_width(w, d) + 1e-9
+
+    @given(w=widths, d=delays)
+    @settings(max_examples=60, deadline=None)
+    def test_wide_glitch_passes_unattenuated(self, w, d):
+        wide = 2.0 * d + w + 1.0
+        assert propagate_width(wide, d) == wide
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(TechnologyError):
+            propagate_width(-1.0, 5.0)
+        with pytest.raises(TechnologyError):
+            propagate_width(5.0, -1.0)
+
+    @given(
+        ws=st.lists(widths, min_size=1, max_size=12),
+        d=delays,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_array_version_matches_scalar(self, ws, d):
+        array = propagate_width_array(np.array(ws), d)
+        for value, w in zip(array, ws):
+            assert value == pytest.approx(propagate_width(w, d))
+
+
+class TestGeneratedWidth:
+    def test_below_critical_charge_no_glitch(self):
+        critical = critical_charge_fc(2.0, 1.0)
+        assert generated_width_ps(critical * 0.99, 2.0, 40.0, 1.0) == 0.0
+
+    def test_above_critical_charge_glitch(self):
+        assert generated_width_ps(16.0, 1.0, 40.0, 1.0) > 0.0
+
+    @given(q=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_charge(self, q):
+        low = generated_width_ps(q, 1.0, 40.0, 1.0)
+        high = generated_width_ps(q + 1.0, 1.0, 40.0, 1.0)
+        assert high >= low
+
+    @given(i=st.floats(min_value=1.0, max_value=200.0))
+    @settings(max_examples=50, deadline=None)
+    def test_antimonotone_in_drive(self, i):
+        weak = generated_width_ps(16.0, 1.0, i, 1.0)
+        strong = generated_width_ps(16.0, 1.0, i * 1.5, 1.0)
+        assert strong <= weak
+
+    def test_width_sublinear_in_charge(self):
+        """The saturation property that makes slowing-to-mask feasible:
+        doubling the removal time less than doubles the width."""
+        w1 = generated_width_ps(16.0, 1.0, 40.0, 1.0) - k.STRIKE_TAU_PS
+        w2 = generated_width_ps(31.5, 1.0, 40.0, 1.0) - k.STRIKE_TAU_PS
+        assert w2 < 2.0 * w1
+
+    def test_nominal_magnitude(self):
+        """16 fC on a minimum inverter-ish node: a couple hundred ps."""
+        width = generated_width_ps(16.0, 0.5, 37.0, 1.0)
+        assert 100.0 < width < 400.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(TechnologyError):
+            generated_width_ps(-1.0, 1.0, 40.0, 1.0)
+        with pytest.raises(TechnologyError):
+            generated_width_ps(16.0, 1.0, 0.0, 1.0)
+        with pytest.raises(TechnologyError):
+            critical_charge_fc(0.0, 1.0)

@@ -1,0 +1,111 @@
+"""Tests for the N-dimensional interpolated lookup tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TableError
+from repro.tech.lut import GridTable, interp_monotone
+
+
+def linear_table():
+    """f(x, y) = 2x + 3y sampled on a grid (multilinear interp is exact)."""
+    xs = np.array([0.0, 1.0, 2.5, 4.0])
+    ys = np.array([-1.0, 0.0, 2.0])
+    values = 2.0 * xs[:, None] + 3.0 * ys[None, :]
+    return GridTable([("x", xs), ("y", ys)], values)
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TableError):
+            GridTable([("x", [0.0, 1.0])], np.zeros(3))
+
+    def test_non_increasing_grid_rejected(self):
+        with pytest.raises(TableError):
+            GridTable([("x", [0.0, 0.0])], np.zeros(2))
+        with pytest.raises(TableError):
+            GridTable([("x", [1.0, 0.0])], np.zeros(2))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(TableError):
+            GridTable(
+                [("x", [0.0, 1.0]), ("x", [0.0, 1.0])], np.zeros((2, 2))
+            )
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(TableError):
+            GridTable([], np.zeros(()))
+
+    def test_axis_accessors(self):
+        table = linear_table()
+        assert table.axis_names == ("x", "y")
+        assert list(table.axis_grid("y")) == [-1.0, 0.0, 2.0]
+        with pytest.raises(TableError):
+            table.axis_grid("z")
+
+
+class TestLookup:
+    def test_exact_at_grid_points(self):
+        table = linear_table()
+        for x in (0.0, 1.0, 2.5, 4.0):
+            for y in (-1.0, 0.0, 2.0):
+                assert table.lookup(x=x, y=y) == pytest.approx(2 * x + 3 * y)
+
+    @given(
+        x=st.floats(min_value=0.0, max_value=4.0),
+        y=st.floats(min_value=-1.0, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_for_multilinear_functions(self, x, y):
+        assert linear_table().lookup(x=x, y=y) == pytest.approx(
+            2 * x + 3 * y, abs=1e-9
+        )
+
+    def test_clamping_outside_grid(self):
+        table = linear_table()
+        assert table.lookup(x=-10.0, y=0.0) == pytest.approx(0.0)
+        assert table.lookup(x=10.0, y=0.0) == pytest.approx(8.0)
+
+    def test_missing_coordinate_rejected(self):
+        with pytest.raises(TableError):
+            linear_table().lookup(x=1.0)
+
+    def test_unknown_coordinate_rejected(self):
+        with pytest.raises(TableError):
+            linear_table().lookup(x=1.0, y=0.0, z=5.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TableError):
+            linear_table().lookup(x=float("nan"), y=0.0)
+
+    def test_singleton_axis(self):
+        table = GridTable([("x", [2.0])], np.array([7.0]))
+        assert table.lookup(x=2.0) == 7.0
+        assert table.lookup(x=99.0) == 7.0
+
+    def test_five_dimensional_interpolation(self):
+        grids = [np.array([0.0, 1.0])] * 5
+        mesh = np.meshgrid(*grids, indexing="ij")
+        values = sum(mesh)  # f = x0+x1+x2+x3+x4, multilinear
+        table = GridTable(
+            [(f"x{i}", grids[i]) for i in range(5)], np.asarray(values)
+        )
+        coords = {f"x{i}": 0.3 + 0.1 * i for i in range(5)}
+        assert table.lookup(**coords) == pytest.approx(sum(coords.values()))
+
+
+class TestInterpMonotone:
+    def test_interpolates_and_clamps(self):
+        xs = np.array([0.0, 10.0, 20.0])
+        ys = np.array([0.0, 100.0, 110.0])
+        assert interp_monotone(xs, ys, 5.0) == pytest.approx(50.0)
+        assert interp_monotone(xs, ys, -5.0) == 0.0
+        assert interp_monotone(xs, ys, 50.0) == 110.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TableError):
+            interp_monotone(np.array([0.0, 0.0]), np.array([1.0, 2.0]), 0.0)
+        with pytest.raises(TableError):
+            interp_monotone(np.array([0.0]), np.array([1.0, 2.0]), 0.0)

@@ -1,0 +1,139 @@
+"""Tests for the device model and gate-level electrical model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.gate import GateType
+from repro.errors import TechnologyError
+from repro.tech import constants as k
+from repro.tech import gate_electrical as ge
+from repro.tech import mosfet
+
+sizes = st.floats(min_value=0.3, max_value=6.0)
+lengths = st.floats(min_value=50.0, max_value=400.0)
+vdds = st.floats(min_value=0.5, max_value=1.4)
+vths = st.floats(min_value=0.05, max_value=0.4)
+
+
+class TestMosfet:
+    def test_nominal_current_scale(self):
+        current = mosfet.on_current_ua(100.0, 70.0, 1.0, 0.2)
+        assert 20.0 < current < 100.0  # tens of uA at 70 nm
+
+    @given(w=st.floats(min_value=50, max_value=500), vdd=vdds, vth=vths)
+    @settings(max_examples=40, deadline=None)
+    def test_current_monotone_in_overdrive(self, w, vdd, vth):
+        if vdd <= vth + 0.05:
+            return
+        low = mosfet.on_current_ua(w, 70.0, vdd, vth)
+        high = mosfet.on_current_ua(w, 70.0, vdd + 0.1, vth)
+        assert high > low
+
+    def test_current_scales_with_width_over_length(self):
+        base = mosfet.on_current_ua(100.0, 70.0, 1.0, 0.2)
+        assert mosfet.on_current_ua(200.0, 70.0, 1.0, 0.2) == pytest.approx(2 * base)
+        assert mosfet.on_current_ua(100.0, 140.0, 1.0, 0.2) == pytest.approx(base / 2)
+
+    def test_vdd_below_vth_rejected(self):
+        with pytest.raises(TechnologyError):
+            mosfet.on_current_ua(100.0, 70.0, 0.2, 0.3)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(TechnologyError):
+            mosfet.on_current_ua(-1.0, 70.0, 1.0, 0.2)
+        with pytest.raises(TechnologyError):
+            mosfet.gate_capacitance_ff(100.0, 0.0)
+
+    def test_leakage_decreases_exponentially_with_vth(self):
+        low = mosfet.leakage_current_ua(100.0, 70.0, 0.1)
+        high = mosfet.leakage_current_ua(100.0, 70.0, 0.3)
+        ratio = low / high
+        expected = math.exp(0.2 / (k.SUBTHRESHOLD_N * 0.02585))
+        assert ratio == pytest.approx(expected, rel=1e-6)
+
+    def test_size_to_width(self):
+        assert mosfet.size_to_width_nm(1.0) == 100.0
+        with pytest.raises(TechnologyError):
+            mosfet.size_to_width_nm(0.0)
+
+
+class TestGateFactors:
+    def test_inverter_factors_are_unity(self):
+        assert ge.drive_divisor(GateType.NOT, 1) == 1.0
+        assert ge.input_cap_factor(GateType.NOT, 1) == 1.0
+
+    def test_stacks_weaken_with_fanin(self):
+        for gtype in (GateType.NAND, GateType.NOR):
+            assert ge.drive_divisor(gtype, 4) > ge.drive_divisor(gtype, 2)
+
+    def test_nor_stack_worse_than_nand(self):
+        assert ge.drive_divisor(GateType.NOR, 3) > ge.drive_divisor(GateType.NAND, 3)
+
+    def test_transistor_counts(self):
+        assert ge.transistor_count(GateType.NOT, 1) == 2
+        assert ge.transistor_count(GateType.NAND, 2) == 4
+        assert ge.transistor_count(GateType.AND, 2) == 6
+
+    def test_bad_fanin_rejected(self):
+        with pytest.raises(TechnologyError):
+            ge.drive_divisor(GateType.NAND, 0)
+
+
+class TestDelayModel:
+    @given(size=sizes, load=st.floats(min_value=0.1, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_delay_increases_with_load(self, size, load):
+        fast = ge.propagation_delay_ps(
+            GateType.NAND, 2, size, 70.0, 1.0, 0.2, load
+        )
+        slow = ge.propagation_delay_ps(
+            GateType.NAND, 2, size, 70.0, 1.0, 0.2, load + 1.0
+        )
+        assert slow > fast
+
+    @given(size=sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_delay_decreases_with_size_at_fixed_load(self, size):
+        d1 = ge.propagation_delay_ps(GateType.NOT, 1, size, 70.0, 1.0, 0.2, 2.0)
+        d2 = ge.propagation_delay_ps(GateType.NOT, 1, size * 1.5, 70.0, 1.0, 0.2, 2.0)
+        assert d2 < d1
+
+    def test_slow_knobs_slow_the_gate(self):
+        base = ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.2, 1.0)
+        assert ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 150.0, 1.0, 0.2, 1.0) > base
+        assert ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 0.8, 0.2, 1.0) > base
+        assert ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.3, 1.0) > base
+
+    def test_ramp_adds_delay(self):
+        quiet = ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.2, 1.0, 0.0)
+        ramped = ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.2, 1.0, 40.0)
+        assert ramped == pytest.approx(quiet + k.RAMP_DELAY_FRACTION * 40.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(TechnologyError):
+            ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.2, -1.0)
+
+    def test_output_ramp_proportional_to_delay(self):
+        delay = ge.propagation_delay_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.2, 1.0)
+        ramp = ge.output_ramp_ps(GateType.NOT, 1, 1.0, 70.0, 1.0, 0.2, 1.0)
+        assert ramp == pytest.approx(k.RAMP_OF_DELAY * delay)
+
+
+class TestEnergyAndArea:
+    def test_dynamic_energy_quadratic_in_vdd(self):
+        low = ge.dynamic_energy_fj(GateType.NOT, 1, 1.0, 1.0, 0.8)
+        high = ge.dynamic_energy_fj(GateType.NOT, 1, 1.0, 1.0, 1.2)
+        assert high / low == pytest.approx((1.2 / 0.8) ** 2)
+
+    def test_static_power_drops_with_vth(self):
+        leaky = ge.static_power_uw(GateType.NAND, 2, 1.0, 70.0, 1.0, 0.1)
+        tight = ge.static_power_uw(GateType.NAND, 2, 1.0, 70.0, 1.0, 0.3)
+        assert leaky > 10.0 * tight
+
+    def test_area_scales_with_size_and_length(self):
+        base = ge.area_units(GateType.NAND, 2, 1.0, 70.0)
+        assert ge.area_units(GateType.NAND, 2, 2.0, 70.0) == pytest.approx(2 * base)
+        assert ge.area_units(GateType.NAND, 2, 1.0, 140.0) == pytest.approx(2 * base)
