@@ -1,0 +1,120 @@
+"""CAMP benchmark — campaign-engine throughput.
+
+Measures scenarios/second for one grid (2 circuits x 3 charges x
+2 environments) under three regimes:
+
+* serial, cold store — every structural pass and analysis computed;
+* serial, warm store — everything served from the JSONL store (resume);
+* parallel — process pool with one batch per structural group.
+
+Emits ``BENCH_campaign.json`` next to the repository root so the
+campaign-throughput trajectory is tracked from this PR onward.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    AVIONICS,
+    SEA_LEVEL,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    clear_analyzer_cache,
+)
+from repro.tech.table_builder import default_tables
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def _spec(scale) -> CampaignSpec:
+    return CampaignSpec(
+        circuits=tuple(scale.circuits[:2]),
+        charges_fc=(4.0, 8.0, 16.0),
+        environments=(SEA_LEVEL, AVIONICS),
+        n_vectors=scale.sensitization_vectors,
+        seed=5,
+    )
+
+
+def test_campaign_throughput(benchmark, scale, tmp_path):
+    spec = _spec(scale)
+    store_path = tmp_path / "bench_store.jsonl"
+
+    # Symmetric regimes: both cold runs start from a process holding the
+    # base technology-table instance but no analyzers and no lazily-built
+    # per-charge LUTs.  The parallel regime runs FIRST — forked workers
+    # build their caches in their own memory, so the parent stays cold
+    # for the serial regime (running it after a serial run would hand the
+    # workers every cache for free and fake the comparison).
+    default_tables()
+    clear_analyzer_cache()
+    par_started = time.perf_counter()
+    par = CampaignRunner(spec, store=ResultStore(), max_workers=2).run(
+        parallel=True
+    )
+    par_wall = time.perf_counter() - par_started
+    assert par.computed == spec.size()
+
+    clear_analyzer_cache()
+    cold = benchmark.pedantic(
+        lambda: CampaignRunner(spec, store=ResultStore(store_path)).run(
+            parallel=False
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert cold.computed == spec.size() and cold.skipped == 0
+
+    warm_started = time.perf_counter()
+    warm = CampaignRunner(spec, store=ResultStore(store_path)).run(parallel=False)
+    warm_wall = time.perf_counter() - warm_started
+    assert warm.computed == 0 and warm.skipped == spec.size()
+    assert warm.wall_s < cold.wall_s  # resume must beat recomputation
+    assert [(r.digest(), r.unreliability_total) for r in par.results] == [
+        (r.digest(), r.unreliability_total) for r in cold.results
+    ]
+
+    payload = {
+        "bench": "campaign_throughput",
+        "unix_time": time.time(),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "fast"),
+        "grid": {
+            "circuits": list(spec.circuits),
+            "charges_fc": list(spec.charges_fc),
+            "environments": [env.name for env in spec.environments],
+            "n_vectors": spec.n_vectors,
+            "scenarios": spec.size(),
+        },
+        "serial_cold": {
+            "wall_s": cold.wall_s,
+            "scenarios_per_s": cold.scenarios_per_second,
+        },
+        "serial_warm": {
+            "wall_s": warm_wall,
+            "scenarios_per_s": warm.scenarios_per_second,
+            "speedup_vs_cold": cold.wall_s / warm.wall_s if warm.wall_s else None,
+        },
+        "parallel": {
+            "wall_s": par_wall,
+            "scenarios_per_s": par.scenarios_per_second,
+            "mode": par.mode,  # "serial" when the sandbox has no pool
+            "workers": par.workers,
+            "speedup_vs_serial_cold": cold.wall_s / par.wall_s
+            if par.wall_s
+            else None,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"\nCAMP — {spec.size()} scenarios: "
+        f"cold {cold.scenarios_per_second:.2f}/s, "
+        f"warm {warm.scenarios_per_second:.0f}/s, "
+        f"parallel({par.mode}) {par.scenarios_per_second:.2f}/s "
+        f"-> {BENCH_JSON.name}"
+    )

@@ -1,0 +1,67 @@
+"""Mission campaign: one grid, three deployment environments.
+
+Runs a batch campaign over two circuits, three strike energies, three
+environments (sea level, avionics, low-Earth orbit) and two design
+variants (nominal vs. uniformly up-sized "hardened"), persisting every
+scenario to a JSONL store.  A second run against the same store computes
+nothing — the resume path — which is how large sweeps are grown
+incrementally.
+
+Run:  python examples/mission_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import (
+    AVIONICS,
+    LEO_SPACE,
+    SEA_LEVEL,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    format_runtime_accounting,
+    summarize,
+)
+from repro.tech.library import CellParams, ParameterAssignment
+
+
+def build_spec() -> CampaignSpec:
+    return CampaignSpec(
+        circuits=("c17", "c432"),
+        charges_fc=(4.0, 8.0, 16.0),
+        environments=(SEA_LEVEL, AVIONICS, LEO_SPACE),
+        assignments={
+            "nominal": ParameterAssignment(),
+            "hardened": ParameterAssignment(CellParams(size=2.0)),
+        },
+        n_vectors=1000,
+        seed=1,
+    )
+
+
+def main() -> None:
+    store_path = Path(tempfile.gettempdir()) / "repro_mission_campaign.jsonl"
+    spec = build_spec()
+    print(f"campaign: {spec.size()} scenarios, store: {store_path}\n")
+
+    store = ResultStore(store_path)
+    outcome = CampaignRunner(spec, store=store).run()
+    summary = summarize(outcome)
+
+    print(summary.format_fit_table(title="mission FIT table"))
+    print()
+    print(summary.format_best_table())
+    print()
+    print(format_runtime_accounting(outcome))
+
+    # Re-running the same campaign against the same store is free:
+    resumed = CampaignRunner(build_spec(), store=ResultStore(store_path)).run()
+    print(
+        f"\nresume: {resumed.computed} computed, {resumed.skipped} served "
+        f"from the store in {resumed.wall_s:.3f} s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,10 +20,32 @@ Optimization (SERTOPT):
     :class:`~repro.core.sertopt.Sertopt`,
     :class:`~repro.core.sertopt.SertoptConfig`,
     :class:`~repro.core.cost.CostWeights`
+Campaigns:
+    :class:`~repro.campaign.spec.CampaignSpec`,
+    :class:`~repro.campaign.runner.CampaignRunner`,
+    :class:`~repro.campaign.store.ResultStore`,
+    :class:`~repro.campaign.environments.Environment`
+    (presets ``SEA_LEVEL``, ``AVIONICS``, ``LEO_SPACE``)
 Reference simulation:
     :class:`~repro.spice.transient.TransientSimulator`
 """
 
+from repro.campaign import (
+    AVIONICS,
+    ENVIRONMENTS,
+    LEO_SPACE,
+    SEA_LEVEL,
+    CampaignOutcome,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignSummary,
+    Environment,
+    ResultStore,
+    ScenarioKey,
+    ScenarioResult,
+    environment,
+    summarize,
+)
 from repro.circuit import (
     Circuit,
     Gate,
@@ -76,5 +98,19 @@ __all__ = [
     "CircuitElectrical",
     "ParameterAssignment",
     "TechnologyTables",
+    "AVIONICS",
+    "ENVIRONMENTS",
+    "LEO_SPACE",
+    "SEA_LEVEL",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSummary",
+    "Environment",
+    "ResultStore",
+    "ScenarioKey",
+    "ScenarioResult",
+    "environment",
+    "summarize",
     "__version__",
 ]

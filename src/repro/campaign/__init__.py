@@ -1,0 +1,63 @@
+"""Batch soft-error analysis campaigns.
+
+Declarative scenario grids (:class:`CampaignSpec`), environment/mission
+models (:class:`Environment` and the presets), process-parallel
+execution with structural-pass reuse (:class:`CampaignRunner`), a
+persistent content-addressed result store (:class:`ResultStore`) and
+grid-level aggregation (:func:`summarize`).
+
+Command line: ``python -m repro.campaign --help``.
+"""
+
+from repro.campaign.environments import (
+    AVIONICS,
+    ENVIRONMENTS,
+    FIT_PER_MB_BY_NODE_NM,
+    LEO_SPACE,
+    SEA_LEVEL,
+    Environment,
+    EnvironmentRates,
+    environment,
+    fit_per_mb,
+)
+from repro.campaign.runner import (
+    CampaignOutcome,
+    CampaignRunner,
+    clear_analyzer_cache,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    ScenarioKey,
+    assignment_fingerprint,
+)
+from repro.campaign.store import ResultStore, ScenarioResult
+from repro.campaign.summarize import (
+    AssignmentRanking,
+    CampaignSummary,
+    format_runtime_accounting,
+    summarize,
+)
+
+__all__ = [
+    "AVIONICS",
+    "ENVIRONMENTS",
+    "FIT_PER_MB_BY_NODE_NM",
+    "LEO_SPACE",
+    "SEA_LEVEL",
+    "AssignmentRanking",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSummary",
+    "Environment",
+    "EnvironmentRates",
+    "ResultStore",
+    "ScenarioKey",
+    "ScenarioResult",
+    "assignment_fingerprint",
+    "clear_analyzer_cache",
+    "environment",
+    "fit_per_mb",
+    "format_runtime_accounting",
+    "summarize",
+]

@@ -1,0 +1,208 @@
+"""Environment / mission models: from unreliability to FIT rates.
+
+ASERTA's circuit unreliability ``U`` (Equation 4) is a *relative* figure:
+the size-weighted expected latched glitch width, in ps.  To compare
+design points across deployment scenarios — a consumer device at sea
+level, avionics at flight altitude, a satellite in orbit — ``U`` must be
+scaled into an absolute upset rate.  The model used here follows the
+standard SER-benchmarking recipe (JESD89-style):
+
+* a **technology-node FIT/Mb table** gives the latched-upset rate of a
+  reference storage cell at the New-York-City sea-level neutron flux;
+* an **environment flux multiplier** scales that reference flux
+  (sea level = 1; flight altitude ~ hundreds; orbit ~ thousands);
+* a **duty cycle** scales for the fraction of time the circuit is
+  powered and latching;
+* ``U / T_clk`` converts the circuit's unreliability into an *effective
+  cell count*: strikes hit gate ``i`` at a rate proportional to its size
+  ``Z_i``, and a strike is latched with probability ``sum_j W_ij / T_clk``
+  (latching-window masking — the same argument that makes ``W_ij`` the
+  capture weight in Equation 3), so the whole circuit upsets like
+  ``U / T_clk`` reference cells.
+
+Putting it together::
+
+    FIT(circuit) = FIT/Mb(node) / 1e6 * flux * duty * U / T_clk
+
+FIT is failures per 1e9 device-hours, so a mission of ``H`` hours upsets
+with probability ``1 - exp(-FIT * 1e-9 * H)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass
+
+from repro.errors import CampaignError
+from repro.tech import constants as k
+
+#: Reference latched-upset rates for a storage cell, in FIT per megabit
+#: (1e6 bits) at the sea-level reference flux, by technology node (nm).
+#: Per-bit SER grows as cells shrink and critical charge falls; the
+#: magnitudes follow published SRAM SER surveys (hundreds of FIT/Mb at
+#: deep-submicron nodes).
+FIT_PER_MB_BY_NODE_NM: dict[float, float] = {
+    250.0: 120.0,
+    180.0: 250.0,
+    130.0: 450.0,
+    100.0: 650.0,
+    70.0: 800.0,
+    45.0: 1000.0,
+}
+
+#: Hours in a (365-day) year, for mission-length arithmetic.
+HOURS_PER_YEAR = 8760.0
+
+
+def fit_per_mb(node_nm: float) -> float:
+    """Reference FIT/Mb at ``node_nm``, linearly interpolated between the
+    tabulated nodes and clamped at the table ends."""
+    if node_nm <= 0.0:
+        raise CampaignError(f"technology node must be positive, got {node_nm}")
+    nodes = sorted(FIT_PER_MB_BY_NODE_NM)
+    if node_nm <= nodes[0]:
+        return FIT_PER_MB_BY_NODE_NM[nodes[0]]
+    if node_nm >= nodes[-1]:
+        return FIT_PER_MB_BY_NODE_NM[nodes[-1]]
+    for low, high in zip(nodes, nodes[1:]):
+        if low <= node_nm <= high:
+            frac = (node_nm - low) / (high - low)
+            f_low = FIT_PER_MB_BY_NODE_NM[low]
+            f_high = FIT_PER_MB_BY_NODE_NM[high]
+            return f_low + frac * (f_high - f_low)
+    raise CampaignError(f"node {node_nm} not bracketed")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class EnvironmentRates:
+    """Absolute soft-error rates of one circuit in one environment."""
+
+    #: Failures per 1e9 device-hours.
+    fit: float
+    #: Mean time to failure, hours (``inf`` when FIT is zero).
+    mttf_hours: float
+    #: Probability of at least one upset over the environment's mission.
+    mission_upset_probability: float
+
+
+@dataclass(frozen=True)
+class Environment:
+    """One deployment scenario: flux, duty cycle and mission length."""
+
+    name: str
+    description: str = ""
+    #: Particle flux relative to the sea-level reference (NYC = 1.0).
+    flux_multiplier: float = 1.0
+    #: Fraction of time the circuit is powered and latching.
+    duty_cycle: float = 1.0
+    #: Mission length over which the upset probability is quoted, hours.
+    mission_hours: float = 5.0 * HOURS_PER_YEAR
+    #: Technology node selecting the reference FIT/Mb.
+    technology_node_nm: float = k.NOMINAL_LENGTH_NM
+    #: Clock period used for the latching-window conversion, ps.
+    clock_period_ps: float = k.CLOCK_PERIOD_PS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("environment needs a name")
+        if self.flux_multiplier <= 0.0:
+            raise CampaignError(
+                f"flux_multiplier must be positive, got {self.flux_multiplier}"
+            )
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise CampaignError(
+                f"duty_cycle must be in (0, 1], got {self.duty_cycle}"
+            )
+        if self.mission_hours <= 0.0:
+            raise CampaignError(
+                f"mission_hours must be positive, got {self.mission_hours}"
+            )
+        if self.clock_period_ps <= 0.0:
+            raise CampaignError(
+                f"clock_period_ps must be positive, got {self.clock_period_ps}"
+            )
+        fit_per_mb(self.technology_node_nm)  # validates the node
+
+    @property
+    def cell_fit(self) -> float:
+        """FIT of one reference storage cell in this environment."""
+        return (
+            fit_per_mb(self.technology_node_nm)
+            / 1e6
+            * self.flux_multiplier
+            * self.duty_cycle
+        )
+
+    def circuit_fit(self, unreliability_total: float) -> float:
+        """FIT of a circuit whose ASERTA unreliability is ``U`` (ps)."""
+        if unreliability_total < 0.0:
+            raise CampaignError(
+                f"unreliability must be >= 0, got {unreliability_total}"
+            )
+        return self.cell_fit * unreliability_total / self.clock_period_ps
+
+    def rates(self, unreliability_total: float) -> EnvironmentRates:
+        """All absolute rates for one analysis result."""
+        fit = self.circuit_fit(unreliability_total)
+        mttf = math.inf if fit <= 0.0 else 1e9 / fit
+        mission = 1.0 - math.exp(-fit * 1e-9 * self.mission_hours)
+        return EnvironmentRates(
+            fit=fit, mttf_hours=mttf, mission_upset_probability=mission
+        )
+
+    def fingerprint(self) -> str:
+        """Short content hash of the *physical* fields, so stored results
+        are invalidated exactly when the model changes — ``name`` is
+        already a separate scenario-key field and ``description`` is
+        cosmetic, so neither participates."""
+        payload = asdict(self)
+        del payload["name"], payload["description"]
+        encoded = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:12]
+
+
+#: Consumer electronics at the New-York-City sea-level reference flux.
+SEA_LEVEL = Environment(
+    name="sea-level",
+    description="consumer device at the NYC sea-level reference flux",
+    flux_multiplier=1.0,
+    duty_cycle=1.0,
+    mission_hours=5.0 * HOURS_PER_YEAR,
+)
+
+#: Commercial-avionics flight altitude (~12 km): the neutron flux is a
+#: few hundred times the ground reference; airframe service life is long
+#: but the equipment is powered only in flight.
+AVIONICS = Environment(
+    name="avionics",
+    description="commercial flight altitude (~12 km)",
+    flux_multiplier=300.0,
+    duty_cycle=0.4,
+    mission_hours=60_000.0,
+)
+
+#: Low-Earth orbit: no atmospheric shielding, always on, shorter mission.
+LEO_SPACE = Environment(
+    name="leo-space",
+    description="low-Earth orbit, unshielded, always on",
+    flux_multiplier=6000.0,
+    duty_cycle=1.0,
+    mission_hours=3.0 * HOURS_PER_YEAR,
+)
+
+#: Preset registry used by the CLI and the experiment harnesses.
+ENVIRONMENTS: dict[str, Environment] = {
+    env.name: env for env in (SEA_LEVEL, AVIONICS, LEO_SPACE)
+}
+
+
+def environment(name: str) -> Environment:
+    """Look up a preset environment by name."""
+    try:
+        return ENVIRONMENTS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown environment {name!r}; choose from {sorted(ENVIRONMENTS)}"
+        ) from None

@@ -1,0 +1,264 @@
+"""Campaign execution: serial or process-parallel, with analyzer reuse.
+
+The expensive part of every scenario is *structural*: the 10k-vector
+``P_ij`` estimation performed by ``AsertaAnalyzer.__init__`` depends only
+on ``ScenarioKey.structural_group()`` — (circuit, n_vectors, seed,
+input probability, table routing) — not on charge, assignment,
+environment or sample-width count.  The runner therefore
+
+* groups scenarios by structural group and dispatches *batches*, so one
+  analyzer build is amortized over the whole batch;
+* keeps a per-worker-process analyzer cache, so a worker handed two
+  batches of the same group builds the analyzer once;
+* within a batch, shares the electrical analysis across environments
+  (the environment axis is pure post-scaling of ``U``).
+
+Scenarios already present in the :class:`ResultStore` are skipped before
+any work is dispatched, which is the resume path.  Parallel execution
+uses :class:`concurrent.futures.ProcessPoolExecutor`; anything that
+prevents the pool from working (a sandbox without process spawning, a
+non-picklable custom assignment) falls back to the serial path rather
+than failing the campaign.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.campaign.environments import Environment
+from repro.campaign.spec import CampaignSpec, ScenarioKey
+from repro.campaign.store import ResultStore, ScenarioResult
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.errors import CampaignError
+from repro.tech.library import ParameterAssignment
+
+#: One unit of dispatched work: the key plus the (picklable) objects the
+#: worker needs to evaluate it.
+WorkItem = tuple[ScenarioKey, ParameterAssignment, Environment]
+
+#: Per-process analyzer cache, keyed by ``ScenarioKey.structural_group()``
+#: (the one place that axis list is defined).  Lives at module scope so
+#: ProcessPoolExecutor workers reuse analyzers across batches without any
+#: coordination.
+_ANALYZER_CACHE: dict[tuple, AsertaAnalyzer] = {}
+
+
+def clear_analyzer_cache() -> None:
+    """Drop this process's analyzer cache.
+
+    Forked worker processes inherit the parent's cache, so a warmed
+    parent gives workers the structural pass for free; benchmarks call
+    this to measure honestly-cold runs, and long-lived services can call
+    it to bound memory.
+    """
+    _ANALYZER_CACHE.clear()
+
+
+def _analyzer_for(group: tuple, config: AsertaConfig) -> AsertaAnalyzer:
+    analyzer = _ANALYZER_CACHE.get(group)
+    if analyzer is None:
+        circuit_name = group[0]
+        analyzer = AsertaAnalyzer(iscas85_circuit(circuit_name), config)
+        _ANALYZER_CACHE[group] = analyzer
+    return analyzer
+
+
+def _evaluate_batch(
+    group: tuple,
+    config: AsertaConfig,
+    items: Sequence[WorkItem],
+) -> list[ScenarioResult]:
+    """Evaluate one batch of scenarios sharing a structural group.
+
+    Runs in a worker process under parallel execution and in the main
+    process under serial execution — the results are identical because
+    every analysis is fully determined by (circuit, config, charge,
+    assignment).
+    """
+    analyzer = _analyzer_for(group, config)
+    analysis_cache: dict[tuple, tuple[float, float]] = {}
+    results: list[ScenarioResult] = []
+    for key, assignment, env in items:
+        cache_key = (key.charge_fc, key.assignment_digest, key.n_sample_widths)
+        cached = analysis_cache.get(cache_key)
+        if cached is None:
+            report = analyzer.analyze(
+                assignment,
+                charge_fc=key.charge_fc,
+                n_sample_widths=key.n_sample_widths,
+            )
+            total, runtime = report.total, report.runtime_s
+            analysis_cache[cache_key] = (total, 0.0)
+        else:
+            total, runtime = cached
+        rates = env.rates(total)
+        results.append(
+            ScenarioResult(
+                key=key,
+                unreliability_total=total,
+                fit=rates.fit,
+                mission_upset_probability=rates.mission_upset_probability,
+                analyze_runtime_s=runtime,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """What one :meth:`CampaignRunner.run` produced."""
+
+    #: Every scenario result, in the spec's deterministic grid order
+    #: (freshly computed and store-served alike).
+    results: tuple[ScenarioResult, ...]
+    #: Scenarios evaluated by this run.
+    computed: int
+    #: Scenarios served from the store without any work.
+    skipped: int
+    #: Wall-clock time of the whole run, seconds.
+    wall_s: float
+    #: Sum of per-scenario analysis times (the serial-equivalent cost).
+    analyze_s: float
+    #: "serial" or "parallel".
+    mode: str
+    #: Worker processes used (1 for serial).
+    workers: int
+
+    @property
+    def scenarios_per_second(self) -> float:
+        total = self.computed + self.skipped
+        return total / self.wall_s if self.wall_s > 0.0 else 0.0
+
+
+class CampaignRunner:
+    """Evaluates a :class:`CampaignSpec`, reading/writing a store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise CampaignError(f"max_workers must be >= 1, got {max_workers}")
+        self.spec = spec
+        self.store = store if store is not None else ResultStore()
+        self.max_workers = max_workers
+
+    def _batches(
+        self, pending: Sequence[ScenarioKey], workers: int
+    ) -> list[tuple[tuple, AsertaConfig, list[WorkItem]]]:
+        """Group pending scenarios by structural group, then split the
+        groups into at most ~``workers`` roughly even batches so a short
+        group list still saturates the pool."""
+        groups: dict[tuple, list[WorkItem]] = {}
+        for key in pending:
+            item: WorkItem = (
+                key,
+                self.spec.assignments[key.assignment],
+                self.spec.environment_by_name(key.environment),
+            )
+            groups.setdefault(key.structural_group(), []).append(item)
+        per_group = max(1, workers // max(1, len(groups)))
+        batches: list[tuple[tuple, AsertaConfig, list[WorkItem]]] = []
+        for group, items in groups.items():
+            config = self.spec.aserta_config()
+            n_chunks = min(per_group, len(items))
+            size = math.ceil(len(items) / n_chunks)
+            for start in range(0, len(items), size):
+                batches.append((group, config, items[start : start + size]))
+        return batches
+
+    def run(self, parallel: bool | None = None) -> CampaignOutcome:
+        """Evaluate every scenario not already in the store.
+
+        ``parallel=None`` auto-selects: parallel when there is more than
+        one batch of work and more than one CPU.  ``parallel=True`` falls
+        back to serial execution if a process pool cannot be used.
+        """
+        started = time.perf_counter()
+        keys = self.spec.scenarios()
+        pending = [key for key in keys if key.digest() not in self.store]
+        skipped = len(keys) - len(pending)
+
+        cpus = os.cpu_count() or 1
+        workers = self.max_workers if self.max_workers is not None else cpus
+        batches = self._batches(pending, workers)
+        workers = max(1, min(workers, len(batches)))
+        if parallel is None:
+            parallel = workers > 1 and cpus > 1
+
+        mode = "serial"
+        computed: list[ScenarioResult] = []
+        if parallel and workers > 1 and _dispatchable(batches):
+            from concurrent.futures import BrokenExecutor
+
+            try:
+                computed = self._run_parallel(batches, workers)
+                mode = "parallel"
+            except (OSError, ImportError, BrokenExecutor):
+                # No process spawning available (sandbox) or the pool
+                # died; worker-side analysis errors are NOT caught here —
+                # they propagate like in the serial path.
+                computed = []
+        if mode == "serial":
+            workers = 1
+            for group, config, items in batches:
+                computed.extend(_evaluate_batch(group, config, items))
+
+        for result in computed:
+            self.store.add(result)
+
+        ordered: list[ScenarioResult] = []
+        for key in keys:
+            digest = key.digest()
+            result = self.store.get(digest)
+            if result is None:  # pragma: no cover - defensive
+                raise CampaignError(f"scenario {digest} was never evaluated")
+            ordered.append(result)
+
+        wall = time.perf_counter() - started
+        return CampaignOutcome(
+            results=tuple(ordered),
+            computed=len(computed),
+            skipped=skipped,
+            wall_s=wall,
+            analyze_s=sum(result.analyze_runtime_s for result in computed),
+            mode=mode,
+            workers=workers,
+        )
+
+    @staticmethod
+    def _run_parallel(
+        batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem]]],
+        workers: int,
+    ) -> list[ScenarioResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        results: list[ScenarioResult] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_evaluate_batch, group, config, items)
+                for group, config, items in batches
+            ]
+            for future in futures:
+                results.extend(future.result())
+        return results
+
+
+def _dispatchable(batches: Sequence[tuple]) -> bool:
+    """Whether the work can cross a process boundary.  Custom assignment
+    or environment subclasses may not pickle; those campaigns run
+    serially instead of failing."""
+    import pickle
+
+    try:
+        pickle.dumps(batches)
+    except Exception:
+        return False
+    return True

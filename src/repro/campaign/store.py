@@ -1,0 +1,146 @@
+"""Persistent, content-addressed campaign results.
+
+The store is a JSONL file: one self-describing record per completed
+scenario, keyed by the scenario's SHA-256 content digest.  Append-only
+writes make it crash-tolerant (a torn final line is ignored on load) and
+trivially mergeable — concatenating two stores is a valid store.  The
+:class:`~repro.campaign.runner.CampaignRunner` consults it before
+dispatching work, which is what makes campaigns resumable: re-running a
+finished campaign costs one file read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.campaign.spec import ScenarioKey
+from repro.errors import CampaignError
+
+#: Version of the result-record serialization.
+RESULT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One completed scenario: the key plus every derived metric."""
+
+    key: ScenarioKey
+    #: ASERTA circuit unreliability U (Equation 4), ps.
+    unreliability_total: float
+    #: Failures per 1e9 device-hours in the scenario's environment.
+    fit: float
+    #: Probability of >= 1 upset over the environment's mission.
+    mission_upset_probability: float
+    #: Wall time of the electrical analysis producing this result; 0.0
+    #: when the result was derived from an analysis shared with another
+    #: scenario of the same batch (environment axis reuse).
+    analyze_runtime_s: float
+
+    def digest(self) -> str:
+        return self.key.digest()
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema": RESULT_SCHEMA,
+            "digest": self.digest(),
+            "key": self.key.to_json_dict(),
+            "metrics": {
+                "unreliability_total": self.unreliability_total,
+                "fit": self.fit,
+                "mission_upset_probability": self.mission_upset_probability,
+                "analyze_runtime_s": self.analyze_runtime_s,
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ScenarioResult":
+        schema = payload.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise CampaignError(
+                f"result schema {schema} not supported (expected {RESULT_SCHEMA})"
+            )
+        try:
+            key = ScenarioKey.from_json_dict(payload["key"])
+            metrics = payload["metrics"]
+            result = cls(
+                key=key,
+                unreliability_total=float(metrics["unreliability_total"]),
+                fit=float(metrics["fit"]),
+                mission_upset_probability=float(
+                    metrics["mission_upset_probability"]
+                ),
+                analyze_runtime_s=float(metrics["analyze_runtime_s"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(f"malformed result record: {exc}") from None
+        recorded = payload.get("digest")
+        if recorded is not None and recorded != result.digest():
+            raise CampaignError(
+                f"result digest mismatch: recorded {recorded!r}, "
+                f"recomputed {result.digest()!r}"
+            )
+        return result
+
+
+class ResultStore:
+    """Digest-keyed scenario results, optionally backed by a JSONL file.
+
+    ``path=None`` gives a purely in-memory store (useful for tests and
+    one-shot campaigns); with a path, every :meth:`add` is appended and
+    flushed immediately, and construction replays the existing file.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._results: dict[str, ScenarioResult] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # Torn final line from an interrupted run: the
+                    # scenario simply gets recomputed.
+                    continue
+                raise CampaignError(
+                    f"{self.path}:{index + 1}: not valid JSON"
+                ) from None
+            result = ScenarioResult.from_json_dict(payload)
+            self._results[result.digest()] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._results
+
+    def get(self, digest: str) -> ScenarioResult | None:
+        return self._results.get(digest)
+
+    def add(self, result: ScenarioResult, overwrite: bool = False) -> bool:
+        """Record ``result``; returns False if it was already present."""
+        digest = result.digest()
+        if digest in self._results and not overwrite:
+            return False
+        self._results[digest] = result
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(result.to_json_dict()) + "\n")
+        return True
+
+    def results(self) -> Iterator[ScenarioResult]:
+        """All stored results, in insertion (file) order."""
+        return iter(tuple(self._results.values()))

@@ -1,0 +1,140 @@
+"""Aggregation across a campaign grid: FIT tables, best assignments,
+and runtime accounting.
+
+Works on any collection of :class:`ScenarioResult` — a fresh
+:class:`~repro.campaign.runner.CampaignOutcome` or the replayed contents
+of a :class:`~repro.campaign.store.ResultStore` — so summaries can be
+regenerated offline from a store file without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.reports import format_table
+from repro.campaign.runner import CampaignOutcome
+from repro.campaign.store import ScenarioResult
+from repro.errors import CampaignError
+
+
+@dataclass(frozen=True)
+class AssignmentRanking:
+    """How one named assignment fares for one (circuit, environment)."""
+
+    circuit: str
+    environment: str
+    assignment: str
+    #: Mean FIT across the (charge, sample-width) scenarios.
+    mean_fit: float
+    #: Worst-case mission upset probability across those scenarios.
+    worst_mission_upset: float
+
+
+class CampaignSummary:
+    """Grid-level views over a set of scenario results."""
+
+    def __init__(self, results: Iterable[ScenarioResult]) -> None:
+        self.results: tuple[ScenarioResult, ...] = tuple(results)
+        if not self.results:
+            raise CampaignError("cannot summarize an empty result set")
+
+    def rankings(self) -> tuple[AssignmentRanking, ...]:
+        """Every (circuit, environment, assignment) aggregate, ordered by
+        circuit, environment, then ascending mean FIT."""
+        buckets: dict[tuple[str, str, str], list[ScenarioResult]] = {}
+        for result in self.results:
+            key = (result.key.circuit, result.key.environment, result.key.assignment)
+            buckets.setdefault(key, []).append(result)
+        rankings = [
+            AssignmentRanking(
+                circuit=circuit,
+                environment=environment,
+                assignment=assignment,
+                mean_fit=sum(r.fit for r in group) / len(group),
+                worst_mission_upset=max(
+                    r.mission_upset_probability for r in group
+                ),
+            )
+            for (circuit, environment, assignment), group in buckets.items()
+        ]
+        rankings.sort(key=lambda r: (r.circuit, r.environment, r.mean_fit))
+        return tuple(rankings)
+
+    def best_assignments(self) -> tuple[AssignmentRanking, ...]:
+        """The lowest-mean-FIT assignment per (circuit, environment)."""
+        best: dict[tuple[str, str], AssignmentRanking] = {}
+        for ranking in self.rankings():
+            key = (ranking.circuit, ranking.environment)
+            if key not in best or ranking.mean_fit < best[key].mean_fit:
+                best[key] = ranking
+        return tuple(best[key] for key in sorted(best))
+
+    def fit_rows(self) -> list[tuple]:
+        """One row per scenario: the grid point and its absolute rates."""
+        rows = []
+        for result in self.results:
+            key = result.key
+            rows.append(
+                (
+                    key.circuit,
+                    key.environment,
+                    key.assignment,
+                    key.charge_fc,
+                    key.n_sample_widths,
+                    result.unreliability_total,
+                    result.fit,
+                    result.mission_upset_probability,
+                )
+            )
+        return rows
+
+    def format_fit_table(self, title: str = "campaign FIT table") -> str:
+        return format_table(
+            ("circuit", "environment", "assignment", "charge (fC)", "k",
+             "U (ps)", "FIT", "P(mission upset)"),
+            self.fit_rows(),
+            title=title,
+        )
+
+    def format_best_table(
+        self, title: str = "best assignment per circuit x environment"
+    ) -> str:
+        rows = [
+            (b.circuit, b.environment, b.assignment, b.mean_fit,
+             b.worst_mission_upset)
+            for b in self.best_assignments()
+        ]
+        return format_table(
+            ("circuit", "environment", "best assignment", "mean FIT",
+             "worst P(upset)"),
+            rows,
+            title=title,
+        )
+
+
+def summarize(
+    results: Iterable[ScenarioResult] | CampaignOutcome,
+) -> CampaignSummary:
+    """Build a summary from results or directly from a run outcome."""
+    if isinstance(results, CampaignOutcome):
+        results = results.results
+    return CampaignSummary(results)
+
+
+def format_runtime_accounting(outcome: CampaignOutcome) -> str:
+    """Throughput and cache-effectiveness lines for one run."""
+    lines: list[str] = [
+        f"scenarios: {len(outcome.results)} "
+        f"({outcome.computed} computed, {outcome.skipped} from store)",
+        f"mode: {outcome.mode} ({outcome.workers} worker"
+        f"{'s' if outcome.workers != 1 else ''})",
+        f"wall time: {outcome.wall_s:.2f} s "
+        f"({outcome.scenarios_per_second:.2f} scenarios/s)",
+    ]
+    if outcome.analyze_s > 0.0 and outcome.wall_s > 0.0:
+        line = f"analysis time: {outcome.analyze_s:.2f} s"
+        if outcome.mode == "parallel":
+            line += f" (parallel speedup {outcome.analyze_s / outcome.wall_s:.2f}X)"
+        lines.append(line)
+    return "\n".join(lines)

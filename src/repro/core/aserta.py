@@ -135,14 +135,24 @@ class AsertaAnalyzer:
         assignment: ParameterAssignment | None = None,
         sample_widths: np.ndarray | None = None,
         charge_fc: float | None = None,
+        n_sample_widths: int | None = None,
     ) -> AsertaReport:
-        """Estimate circuit unreliability under ``assignment``."""
+        """Estimate circuit unreliability under ``assignment``.
+
+        ``n_sample_widths`` overrides the configured sample-width count
+        without a second electrical pass (used by the campaign engine's
+        analysis-config axis); ``sample_widths`` overrides the sampled
+        widths entirely.
+        """
         started = time.perf_counter()
         assignment = assignment if assignment is not None else ParameterAssignment()
         elec = self.electrical_view(assignment, charge_fc=charge_fc)
         if sample_widths is None:
             sample_widths = default_sample_widths(
-                elec, self.config.n_sample_widths
+                elec,
+                self.config.n_sample_widths
+                if n_sample_widths is None
+                else n_sample_widths,
             )
         masking = electrical_masking(
             self.circuit,

@@ -49,3 +49,7 @@ class AnalysisError(ReproError):
 
 class OptimizationError(ReproError):
     """SERTOPT optimization could not be completed."""
+
+
+class CampaignError(ReproError):
+    """Campaign specification, store or execution problem."""

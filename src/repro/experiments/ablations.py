@@ -9,7 +9,11 @@
 
 * **ABL-K** — the number of sample glitch widths (the paper uses 10).
   The ablation sweeps k and reports the total unreliability against a
-  dense-k reference, showing the convergence that justifies 10.
+  dense-k reference, showing the convergence that justifies 10.  The
+  sweep runs through the campaign engine (the sample-width count is the
+  analysis-config axis of the grid); ABL-PI stays a direct computation
+  because it ablates Equation 2 *inside* the propagation, which no grid
+  axis can express.
 """
 
 from __future__ import annotations
@@ -20,6 +24,9 @@ from typing import Mapping
 import numpy as np
 
 from repro.analysis.reports import format_table
+from repro.campaign.environments import SEA_LEVEL
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
 from repro.circuit.iscas85 import iscas85_circuit
 from repro.circuit.netlist import Circuit
 from repro.core.aserta import AsertaAnalyzer, AsertaConfig
@@ -160,16 +167,22 @@ def run_sample_count_ablation(
     reference_k: int = 40,
     scale: ExperimentScale | None = None,
 ) -> SampleCountAblationResult:
+    """Convergence in k, expressed as a campaign over the k axis."""
     scale = scale if scale is not None else ExperimentScale.fast()
-    circuit = iscas85_circuit(circuit_name)
-    analyzer = AsertaAnalyzer(
-        circuit, AsertaConfig(n_vectors=scale.sensitization_vectors, seed=5)
+    spec = CampaignSpec(
+        circuits=(circuit_name,),
+        environments=(SEA_LEVEL,),
+        n_vectors=scale.sensitization_vectors,
+        seed=5,
+        # dict.fromkeys dedupes while preserving order (reference_k may
+        # legitimately appear in counts).
+        sample_width_counts=tuple(dict.fromkeys(tuple(counts) + (reference_k,))),
     )
-    elec = analyzer.electrical_view(ParameterAssignment())
-    totals: dict[int, float] = {}
-    for k in tuple(counts) + (reference_k,):
-        samples = default_sample_widths(elec, k)
-        totals[k] = analyzer.analyze(sample_widths=samples).total
+    outcome = CampaignRunner(spec).run(parallel=False)
+    totals = {
+        result.key.n_sample_widths: result.unreliability_total
+        for result in outcome.results
+    }
     return SampleCountAblationResult(
         circuit=circuit_name,
         reference_k=reference_k,

@@ -8,6 +8,11 @@ injected charge.").  This repository's glitch tables already carry a
 charge axis; this experiment sweeps it, showing circuit unreliability
 as a function of strike energy — monotonically non-decreasing, with a
 threshold below which the critical charge masks everything.
+
+The sweep runs through the campaign engine: the charge axis is one
+dimension of a :class:`~repro.campaign.spec.CampaignSpec` grid, so the
+structural pass is computed once and, given a persistent store, already-
+computed charges are skipped on re-runs.
 """
 
 from __future__ import annotations
@@ -15,8 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reports import format_table
-from repro.circuit.iscas85 import iscas85_circuit
-from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.campaign.environments import SEA_LEVEL
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
 from repro.experiments.common import ExperimentScale
 
 DEFAULT_CHARGES_FC: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
@@ -36,17 +43,25 @@ def run_charge_sweep(
     circuit_name: str = "c432",
     charges_fc: tuple[float, ...] = DEFAULT_CHARGES_FC,
     scale: ExperimentScale | None = None,
+    store: ResultStore | None = None,
 ) -> ChargeSweepResult:
-    """Total unreliability versus injected charge."""
+    """Total unreliability versus injected charge, via the campaign engine.
+
+    Pass a file-backed ``store`` to make repeated sweeps incremental.
+    """
     scale = scale if scale is not None else ExperimentScale.fast()
-    circuit = iscas85_circuit(circuit_name)
-    analyzer = AsertaAnalyzer(
-        circuit,
-        AsertaConfig(n_vectors=scale.sensitization_vectors, seed=5),
+    spec = CampaignSpec(
+        circuits=(circuit_name,),
+        charges_fc=tuple(dict.fromkeys(charges_fc)),
+        environments=(SEA_LEVEL,),
+        n_vectors=scale.sensitization_vectors,
+        seed=5,
     )
-    totals: dict[float, float] = {}
-    for charge in charges_fc:
-        totals[charge] = analyzer.analyze(charge_fc=charge).total
+    outcome = CampaignRunner(spec, store=store).run(parallel=False)
+    totals = {
+        result.key.charge_fc: result.unreliability_total
+        for result in outcome.results
+    }
     return ChargeSweepResult(circuit=circuit_name, totals_by_charge=totals)
 
 
