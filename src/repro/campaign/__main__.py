@@ -23,7 +23,7 @@ from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.campaign.summarize import format_runtime_accounting, summarize
-from repro.errors import ReproError
+from repro.errors import CampaignError, ReproError
 from repro.tech import constants as k
 from repro.tech.library import CellParams, ParameterAssignment
 
@@ -83,6 +83,8 @@ def _assignments(sizes: Sequence[float]) -> dict[str, ParameterAssignment]:
     assignments: dict[str, ParameterAssignment] = {}
     for size in sizes:
         name = "nominal" if size == 1.0 else f"size{size:g}"
+        if name in assignments:
+            raise CampaignError(f"duplicate --sizes value: {size:g}")
         assignments[name] = ParameterAssignment(CellParams(size=size))
     return assignments
 

@@ -68,6 +68,13 @@ def _analyzer_for(group: tuple, config: AsertaConfig) -> AsertaAnalyzer:
     return analyzer
 
 
+def _analysis_unit(key: ScenarioKey) -> tuple:
+    """Axis values one electrical analysis depends on beyond the
+    structural group — scenarios sharing a unit (i.e. differing only in
+    environment) share one analysis."""
+    return (key.charge_fc, key.assignment_digest, key.n_sample_widths)
+
+
 def _evaluate_batch(
     group: tuple,
     config: AsertaConfig,
@@ -84,7 +91,7 @@ def _evaluate_batch(
     analysis_cache: dict[tuple, tuple[float, float]] = {}
     results: list[ScenarioResult] = []
     for key, assignment, env in items:
-        cache_key = (key.charge_fc, key.assignment_digest, key.n_sample_widths)
+        cache_key = _analysis_unit(key)
         cached = analysis_cache.get(cache_key)
         if cached is None:
             report = analyzer.analyze(
@@ -155,23 +162,38 @@ class CampaignRunner:
     ) -> list[tuple[tuple, AsertaConfig, list[WorkItem]]]:
         """Group pending scenarios by structural group, then split the
         groups into at most ~``workers`` roughly even batches so a short
-        group list still saturates the pool."""
-        groups: dict[tuple, list[WorkItem]] = {}
+        group list still saturates the pool.
+
+        Chunk boundaries fall only *between* analysis units — the items
+        sharing one ``(charge, assignment, sample-width count)`` — never
+        inside one, so the environment axis is always served from a
+        single electrical analysis no matter how many chunks a group is
+        split into or which execution mode runs them.
+        """
+        groups: dict[tuple, dict[tuple, list[WorkItem]]] = {}
         for key in pending:
             item: WorkItem = (
                 key,
                 self.spec.assignments[key.assignment],
                 self.spec.environment_by_name(key.environment),
             )
-            groups.setdefault(key.structural_group(), []).append(item)
+            groups.setdefault(key.structural_group(), {}).setdefault(
+                _analysis_unit(key), []
+            ).append(item)
         per_group = max(1, workers // max(1, len(groups)))
         batches: list[tuple[tuple, AsertaConfig, list[WorkItem]]] = []
-        for group, items in groups.items():
+        for group, units in groups.items():
             config = self.spec.aserta_config()
-            n_chunks = min(per_group, len(items))
-            size = math.ceil(len(items) / n_chunks)
-            for start in range(0, len(items), size):
-                batches.append((group, config, items[start : start + size]))
+            unit_lists = list(units.values())
+            n_chunks = min(per_group, len(unit_lists))
+            size = math.ceil(len(unit_lists) / n_chunks)
+            for start in range(0, len(unit_lists), size):
+                chunk = [
+                    item
+                    for unit_items in unit_lists[start : start + size]
+                    for item in unit_items
+                ]
+                batches.append((group, config, chunk))
         return batches
 
     def run(self, parallel: bool | None = None) -> CampaignOutcome:
@@ -196,16 +218,10 @@ class CampaignRunner:
         mode = "serial"
         computed: list[ScenarioResult] = []
         if parallel and workers > 1 and _dispatchable(batches):
-            from concurrent.futures import BrokenExecutor
-
-            try:
-                computed = self._run_parallel(batches, workers)
+            dispatched = self._run_parallel(batches, workers)
+            if dispatched is not None:
+                computed = dispatched
                 mode = "parallel"
-            except (OSError, ImportError, BrokenExecutor):
-                # No process spawning available (sandbox) or the pool
-                # died; worker-side analysis errors are NOT caught here —
-                # they propagate like in the serial path.
-                computed = []
         if mode == "serial":
             workers = 1
             for group, config, items in batches:
@@ -237,17 +253,42 @@ class CampaignRunner:
     def _run_parallel(
         batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem]]],
         workers: int,
-    ) -> list[ScenarioResult]:
-        from concurrent.futures import ProcessPoolExecutor
+    ) -> list[ScenarioResult] | None:
+        """Dispatch the batches to a process pool.
 
+        Returns ``None`` when the pool itself is unusable — construction
+        failed (no semaphore support), worker spawning failed (a sandbox
+        that denies fork/spawn; processes are spawned lazily by
+        ``submit``, not construction), or the pool broke mid-flight
+        (:class:`BrokenExecutor`) — so the caller falls back to the
+        serial path.  Exceptions raised by the analysis code inside a
+        worker never surface through ``submit``; they are re-raised by
+        ``future.result()`` as themselves (including worker-side
+        ``OSError``) and propagate, exactly as they would on the serial
+        path.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (ImportError, NotImplementedError, OSError):
+            return None
         results: list[ScenarioResult] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_evaluate_batch, group, config, items)
-                for group, config, items in batches
-            ]
-            for future in futures:
-                results.extend(future.result())
+        try:
+            with pool:
+                try:
+                    futures = [
+                        pool.submit(_evaluate_batch, group, config, items)
+                        for group, config, items in batches
+                    ]
+                except OSError:
+                    return None
+                for future in futures:
+                    results.extend(future.result())
+        except BrokenExecutor:
+            return None
         return results
 
 

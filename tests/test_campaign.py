@@ -290,9 +290,16 @@ class TestRunner:
 
         assert comparable(serial) == comparable(parallel)
 
-    def test_environment_axis_shares_analysis(self):
+    # max_workers=4 pins the many-CPU regression: batches used to be
+    # chunked for the worker count before the execution mode was known,
+    # splitting environment pairs across chunks and recomputing the
+    # shared analysis once per environment on >=4-CPU machines.
+    @pytest.mark.parametrize("max_workers", [None, 1, 4])
+    def test_environment_axis_shares_analysis(self, max_workers):
         spec = small_spec()
-        outcome = CampaignRunner(spec, store=ResultStore()).run(parallel=False)
+        outcome = CampaignRunner(
+            spec, store=ResultStore(), max_workers=max_workers
+        ).run(parallel=False)
         by_scenario = {}
         for result in outcome.results:
             key = (result.key.charge_fc, result.key.assignment)
@@ -412,6 +419,16 @@ class TestCli:
         )
         assert proc.returncode == 1
         assert "error:" in proc.stderr
+
+    def test_duplicate_sizes_fail_cleanly(self, tmp_path):
+        # "1" and "1.0" would silently collapse into one 'nominal'
+        # assignment via dict-key overwrite; the CLI must reject them.
+        proc = self.run_cli(
+            "--circuits", "c17", "--sizes", "1", "1.0",
+            "--n-vectors", "100", cwd=tmp_path,
+        )
+        assert proc.returncode == 1
+        assert "duplicate --sizes" in proc.stderr
 
 
 # -------------------------------------------------- experiment wrappers
