@@ -1,0 +1,91 @@
+"""ASERTA core benchmark — dict-based reference vs. vectorized array path.
+
+Runs ``AsertaAnalyzer.analyze()`` on c432 at the paper-default
+configuration through both engines of the same analyzer (one structural
+pass, identical inputs) and emits ``BENCH_aserta.json`` with the
+before/after timings.  The acceptance bar for the vectorization PR —
+the array path at least 3x faster than the seed implementation — is
+asserted here, so any future regression of the hot path fails CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.aserta import AsertaAnalyzer
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_aserta.json"
+#: The acceptance floor: vectorized analyze() vs the seed implementation.
+MIN_SPEEDUP = 3.0
+
+
+def _time_engine(analyzer, engine: str, repeats: int) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        analyzer.analyze(engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_aserta_vectorization_speedup(benchmark):
+    circuit = iscas85_circuit("c432")
+    analyzer = AsertaAnalyzer(circuit)  # paper defaults: 10k vectors, 16 fC
+
+    # Warm every lazy cache (LUTs, stacked tensors) for both engines so
+    # the measurement compares steady-state analysis cost only.
+    reference_report = analyzer.analyze(engine="reference")
+    array_report = analyzer.analyze(engine="array")
+    assert array_report.total > 0.0
+    relative = abs(array_report.total - reference_report.total) / (
+        reference_report.total
+    )
+    assert relative <= 1e-9
+
+    before_s = _time_engine(analyzer, "reference", repeats=5)
+    after_s = _time_engine(analyzer, "array", repeats=15)
+    if before_s / after_s < MIN_SPEEDUP:
+        # Shared CI runners can jitter a single measurement; re-measure
+        # once (best-of across both rounds) before declaring a
+        # regression.  Locally the observed ratio is ~11x, so a clean
+        # hot path clears the 3x floor with wide margin.
+        before_s = min(before_s, _time_engine(analyzer, "reference", repeats=5))
+        after_s = min(after_s, _time_engine(analyzer, "array", repeats=15))
+    benchmark.pedantic(
+        lambda: analyzer.analyze(engine="array"), iterations=5, rounds=3
+    )
+    speedup = before_s / after_s
+
+    payload = {
+        "bench": "aserta_analyze",
+        "unix_time": time.time(),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "fast"),
+        "circuit": "c432",
+        "config": {
+            "n_vectors": analyzer.config.n_vectors,
+            "n_sample_widths": analyzer.config.n_sample_widths,
+            "charge_fc": analyzer.config.charge_fc,
+        },
+        "gates": circuit.gate_count,
+        "before": {"engine": "reference", "analyze_s": before_s},
+        "after": {"engine": "array", "analyze_s": after_s},
+        "speedup": speedup,
+        "after_analyses_per_s": 1.0 / after_s if after_s > 0 else None,
+        "unreliability_total": array_report.total,
+        "relative_error_vs_reference": relative,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"\nASERTA c432 analyze: reference {before_s * 1e3:.1f} ms, "
+        f"array {after_s * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"-> {BENCH_JSON.name}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized analyze() only {speedup:.2f}x faster than the "
+        f"reference (acceptance floor {MIN_SPEEDUP}x)"
+    )

@@ -50,6 +50,7 @@ from repro.circuit import (
     Circuit,
     Gate,
     GateType,
+    IndexedCircuit,
     iscas85_circuit,
     iscas85_names,
     parse_bench,
@@ -80,6 +81,7 @@ __all__ = [
     "Circuit",
     "Gate",
     "GateType",
+    "IndexedCircuit",
     "iscas85_circuit",
     "iscas85_names",
     "parse_bench",

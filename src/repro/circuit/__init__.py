@@ -7,6 +7,7 @@ to a circuit by :class:`repro.tech.library.ParameterAssignment`.
 """
 
 from repro.circuit.gate import Gate, GateType
+from repro.circuit.indexed import IndexedCircuit
 from repro.circuit.netlist import Circuit
 from repro.circuit.bench_io import parse_bench, parse_bench_file, write_bench
 from repro.circuit.iscas85 import iscas85_circuit, iscas85_names, iscas85_stats
@@ -15,6 +16,7 @@ __all__ = [
     "Gate",
     "GateType",
     "Circuit",
+    "IndexedCircuit",
     "parse_bench",
     "parse_bench_file",
     "write_bench",

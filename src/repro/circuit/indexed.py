@@ -1,0 +1,186 @@
+"""Integer-indexed netlist view: the substrate of the array analysis core.
+
+:class:`IndexedCircuit` freezes one :class:`~repro.circuit.netlist.Circuit`
+into dense NumPy structure: every signal becomes an integer row in
+topological order, adjacency becomes CSR-style ``(ptr, idx)`` arrays, and
+primary outputs become columns.  Everything downstream of it — the
+vectorized electrical annotation, the Section-3.2 masking sweep, the
+Eq-3/Eq-4 reductions — indexes these arrays instead of chasing
+``dict[str, ...]`` maps, which is what lets NumPy do the arithmetic over
+whole gate populations at once (the Mohanram–Touba bit-parallel trick,
+applied to the analysis instead of the simulation).
+
+The view is immutable and cached on the circuit (`Circuit.indexed()`);
+mutating the circuit invalidates the cache like every other derived
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.circuit.gate import GateType
+from repro.circuit.netlist import Circuit
+
+
+class IndexedCircuit:
+    """Dense integer view of one circuit.
+
+    Rows are signals in topological order (primary inputs included);
+    columns — where a per-output axis exists — are primary outputs in
+    declaration order.  Edge ``e`` runs from ``edge_src[e]`` to
+    ``edge_dst[e]``; edges are grouped by source row (CSR) and, within
+    one source, ordered exactly as :meth:`Circuit.fanouts` lists the
+    successors, so array reductions accumulate in the same order as the
+    dict-based reference code.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.order: tuple[str, ...] = circuit.topological_order()
+        self.index: dict[str, int] = {
+            name: row for row, name in enumerate(self.order)
+        }
+        n = len(self.order)
+        self.n_signals = n
+        self.n_outputs = len(circuit.outputs)
+
+        self.is_input = np.zeros(n, dtype=bool)
+        self.is_output = np.zeros(n, dtype=bool)
+        gtype_list: list[GateType] = []
+        fanin_counts = np.zeros(n, dtype=np.int64)
+        for row, name in enumerate(self.order):
+            gate = circuit.gate(name)
+            gtype_list.append(gate.gtype)
+            fanin_counts[row] = gate.fanin_count
+            if gate.is_input:
+                self.is_input[row] = True
+        for name in circuit.outputs:
+            self.is_output[self.index[name]] = True
+        #: Gate type per row (object array of :class:`GateType`).
+        self.gtypes: tuple[GateType, ...] = tuple(gtype_list)
+        self.fanin_counts = fanin_counts
+        #: Rows of logic gates (primary inputs excluded), ascending.
+        self.gate_rows = np.flatnonzero(~self.is_input)
+        self.n_gates = int(self.gate_rows.size)
+
+        #: Row of output column ``j`` (declaration order).
+        self.output_rows = np.array(
+            [self.index[name] for name in circuit.outputs], dtype=np.int64
+        )
+        #: Primary-output name -> column index.
+        self.output_col: dict[str, int] = {
+            name: col for col, name in enumerate(circuit.outputs)
+        }
+        #: Column of each row that is a primary output, -1 elsewhere.
+        self.col_of_row = np.full(n, -1, dtype=np.int64)
+        self.col_of_row[self.output_rows] = np.arange(
+            self.n_outputs, dtype=np.int64
+        )
+
+        # CSR fanouts (edge e: edge_src[e] -> edge_dst[e]).  Gates reject
+        # duplicate fan-ins, so (src, dst) identifies an edge uniquely
+        # and edge_slot maps the pair back to its CSR position.
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        dst: list[int] = []
+        self.edge_slot: dict[tuple[int, int], int] = {}
+        for row, name in enumerate(self.order):
+            for successor in circuit.fanouts(name):
+                successor_row = self.index[successor]
+                self.edge_slot[(row, successor_row)] = len(dst)
+                dst.append(successor_row)
+            ptr[row + 1] = len(dst)
+        self.fanout_ptr = ptr
+        self.edge_dst = np.array(dst, dtype=np.int64)
+        self.n_edges = int(self.edge_dst.size)
+        self.edge_src = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(ptr)
+        )
+
+        # CSR fanins (fan-ins of each row, in declaration order).
+        fptr = np.zeros(n + 1, dtype=np.int64)
+        src: list[int] = []
+        for row, name in enumerate(self.order):
+            for fanin in circuit.gate(name).fanins:
+                src.append(self.index[fanin])
+            fptr[row + 1] = len(src)
+        self.fanin_ptr = fptr
+        self.fanin_src = np.array(src, dtype=np.int64)
+
+        # Forward logic levels (inputs at 0), as an array.
+        levels = circuit.levels()
+        self.level = np.array(
+            [levels[name] for name in self.order], dtype=np.int64
+        )
+
+        # Gates grouped by (gate type, fan-in count) — the unit one
+        # characterization table covers, hence the unit of one vectorized
+        # table lookup.
+        groups: dict[tuple[GateType, int], list[int]] = {}
+        for row in self.gate_rows:
+            key = (gtype_list[row], int(fanin_counts[row]))
+            groups.setdefault(key, []).append(int(row))
+        self.type_groups: dict[tuple[GateType, int], np.ndarray] = {
+            key: np.array(rows, dtype=np.int64) for key, rows in groups.items()
+        }
+        #: ``(gate type, fan-in)`` pairs in first-appearance order — the
+        #: leading axis of the stacked characterization tables.
+        self.group_pairs: tuple[tuple[GateType, int], ...] = tuple(groups)
+        #: Per-row index into :attr:`group_pairs` (-1 on input rows).
+        self.group_id = np.full(n, -1, dtype=np.int64)
+        for gid, rows in enumerate(self.type_groups.values()):
+            self.group_id[rows] = gid
+
+    # ------------------------------------------------------------------
+    # Dict <-> array bridging
+    # ------------------------------------------------------------------
+
+    def fanouts_of(self, row: int) -> np.ndarray:
+        """Successor rows of ``row`` (CSR slice)."""
+        return self.edge_dst[self.fanout_ptr[row] : self.fanout_ptr[row + 1]]
+
+    def fanins_of(self, row: int) -> np.ndarray:
+        """Fan-in rows of ``row`` (CSR slice)."""
+        return self.fanin_src[self.fanin_ptr[row] : self.fanin_ptr[row + 1]]
+
+    def gather(
+        self, mapping: Mapping[str, float], default: float = 0.0
+    ) -> np.ndarray:
+        """Dense ``(V,)`` array from a name-keyed mapping."""
+        out = np.full(self.n_signals, default, dtype=np.float64)
+        for name, value in mapping.items():
+            row = self.index.get(name)
+            if row is not None:
+                out[row] = value
+        return out
+
+    def scatter(
+        self, values: np.ndarray, rows: np.ndarray | None = None
+    ) -> dict[str, float]:
+        """Name-keyed dict view of a dense ``(V,)`` array."""
+        take = range(self.n_signals) if rows is None else rows
+        return {self.order[row]: float(values[row]) for row in take}
+
+    def output_matrix(
+        self, per_output: Mapping[str, Mapping[str, float]]
+    ) -> np.ndarray:
+        """Dense ``(V, O)`` array from a sparse ``{gate: {output: x}}``."""
+        out = np.zeros((self.n_signals, self.n_outputs), dtype=np.float64)
+        for name, row_map in per_output.items():
+            row = self.index.get(name)
+            if row is None:
+                continue
+            for output_name, value in row_map.items():
+                col = self.output_col.get(output_name)
+                if col is not None:
+                    out[row, col] = value
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexedCircuit({self.circuit.name!r}, signals={self.n_signals}, "
+            f"edges={self.n_edges}, outputs={self.n_outputs})"
+        )

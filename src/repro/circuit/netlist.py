@@ -8,9 +8,12 @@ levels, fanout maps, cones) lazily, invalidating caches on mutation.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.circuit.gate import Gate, GateType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.circuit.indexed import IndexedCircuit
 from repro.errors import CircuitCycleError, CircuitError, UnknownGateError
 
 
@@ -245,6 +248,17 @@ class Circuit:
         """Primary outputs structurally reachable from signal ``name``."""
         cone = self.fanout_cone(name)
         return tuple(out for out in self._outputs if out in cone)
+
+    def indexed(self) -> "IndexedCircuit":
+        """The dense integer/CSR view of this circuit, cached like every
+        other derived structure (invalidated on mutation)."""
+        cached = self._cache.get("indexed")
+        if cached is None:
+            from repro.circuit.indexed import IndexedCircuit
+
+            cached = IndexedCircuit(self)
+            self._cache["indexed"] = cached
+        return cached  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Validation and summaries

@@ -12,6 +12,12 @@
 """
 
 from repro.core.aserta import AsertaAnalyzer, AsertaConfig, AsertaReport
+from repro.core.electrical_masking import (
+    ElectricalMaskingResult,
+    electrical_masking,
+    electrical_masking_reference,
+)
+from repro.core.masking import MaskingStructure, masking_structure
 from repro.core.sertopt import Sertopt, SertoptConfig, SertoptResult
 from repro.core.baseline import size_for_speed
 
@@ -19,8 +25,13 @@ __all__ = [
     "AsertaAnalyzer",
     "AsertaConfig",
     "AsertaReport",
+    "ElectricalMaskingResult",
+    "MaskingStructure",
     "Sertopt",
     "SertoptConfig",
     "SertoptResult",
+    "electrical_masking",
+    "electrical_masking_reference",
+    "masking_structure",
     "size_for_speed",
 ]

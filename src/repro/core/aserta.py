@@ -23,14 +23,20 @@ from repro.core.electrical_masking import (
     ElectricalMaskingResult,
     default_sample_widths,
     electrical_masking,
+    electrical_masking_reference,
 )
-from repro.core.unreliability import UnreliabilityReport, build_report
+from repro.core.masking import masking_structure
+from repro.core.unreliability import (
+    UnreliabilityReport,
+    build_report,
+    build_report_from_arrays,
+)
 from repro.errors import AnalysisError
 from repro.logicsim.bitsim import BitParallelSimulator
 from repro.logicsim.probability import static_probabilities
 from repro.logicsim.sensitization import sensitization_probabilities
 from repro.tech import constants as k
-from repro.tech.electrical_view import CircuitElectrical
+from repro.tech.electrical_view import CircuitElectrical, cell_param_arrays
 from repro.tech.library import ParameterAssignment
 from repro.tech.table_builder import TechnologyTables, default_tables
 
@@ -111,11 +117,19 @@ class AsertaAnalyzer:
             seed=self.config.seed,
             simulator=self.simulator,
         )
+        #: Dense integer view shared by every array pass.
+        self.indexed = circuit.indexed()
+        #: Assignment-independent Equation-2 structure (dense shares),
+        #: built once and reused by every :meth:`analyze` call.
+        self.structure = masking_structure(
+            circuit, self.probabilities, self.sensitized_paths, self.indexed
+        )
 
     def electrical_view(
         self,
         assignment: ParameterAssignment,
         charge_fc: float | None = None,
+        vectorized: bool | None = None,
     ) -> CircuitElectrical:
         """The annotated electrical state for ``assignment``.
 
@@ -128,7 +142,11 @@ class AsertaAnalyzer:
             tables=self.tables,
             use_tables=self.config.use_tables,
             charge_fc=self.config.charge_fc if charge_fc is None else charge_fc,
+            vectorized=vectorized,
         )
+
+    def _sizes_array(self, assignment: ParameterAssignment) -> np.ndarray:
+        return cell_param_arrays(self.indexed, assignment)["size"]
 
     def analyze(
         self,
@@ -136,17 +154,29 @@ class AsertaAnalyzer:
         sample_widths: np.ndarray | None = None,
         charge_fc: float | None = None,
         n_sample_widths: int | None = None,
+        engine: str = "array",
     ) -> AsertaReport:
         """Estimate circuit unreliability under ``assignment``.
 
         ``n_sample_widths`` overrides the configured sample-width count
         without a second electrical pass (used by the campaign engine's
         analysis-config axis); ``sample_widths`` overrides the sampled
-        widths entirely.
+        widths entirely.  ``engine`` selects the implementation:
+        ``"array"`` (the vectorized core) or ``"reference"`` (the
+        original per-gate dict walk, kept for differential testing and
+        benchmarking).
         """
+        if engine not in ("array", "reference"):
+            raise AnalysisError(
+                f"engine must be 'array' or 'reference', got {engine!r}"
+            )
         started = time.perf_counter()
         assignment = assignment if assignment is not None else ParameterAssignment()
-        elec = self.electrical_view(assignment, charge_fc=charge_fc)
+        elec = self.electrical_view(
+            assignment,
+            charge_fc=charge_fc,
+            vectorized=engine == "array",
+        )
         if sample_widths is None:
             sample_widths = default_sample_widths(
                 elec,
@@ -154,22 +184,44 @@ class AsertaAnalyzer:
                 if n_sample_widths is None
                 else n_sample_widths,
             )
-        masking = electrical_masking(
-            self.circuit,
-            elec,
-            self.probabilities,
-            self.sensitized_paths,
-            sample_widths,
-        )
-        sizes = {
-            gate.name: assignment[gate.name].size for gate in self.circuit.gates()
-        }
-        report = build_report(
-            self.circuit.name,
-            generated_widths=elec.generated_width_ps,
-            sizes=sizes,
-            expected=masking.expected,
-        )
+        if engine == "array":
+            masking = electrical_masking(
+                self.circuit,
+                elec,
+                self.probabilities,
+                self.sensitized_paths,
+                sample_widths,
+                structure=self.structure,
+            )
+            assert masking.arrays is not None
+            arrays = elec.arrays()
+            sizes = arrays.get("size")
+            if sizes is None:  # view built by the scalar fallback path
+                sizes = self._sizes_array(assignment)
+            report = build_report_from_arrays(
+                self.circuit.name,
+                masking.arrays,
+                generated=arrays["generated_width_ps"],
+                sizes=sizes,
+            )
+        else:
+            masking = electrical_masking_reference(
+                self.circuit,
+                elec,
+                self.probabilities,
+                self.sensitized_paths,
+                sample_widths,
+            )
+            sizes = {
+                gate.name: assignment[gate.name].size
+                for gate in self.circuit.gates()
+            }
+            report = build_report(
+                self.circuit.name,
+                generated_widths=elec.generated_width_ps,
+                sizes=sizes,
+                expected=masking.expected,
+            )
         runtime = time.perf_counter() - started
         return AsertaReport(
             unreliability=report,

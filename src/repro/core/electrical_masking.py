@@ -21,35 +21,135 @@ This is the paper's Section 3.2 algorithm, verbatim:
 One pass costs ``O((V + E) * k * |outputs|)``; Lemma 1 (wide glitches
 arrive with expected width ``w * P_ij``) holds by construction and is
 property-tested.
+
+Two implementations share that contract.  :func:`electrical_masking` is
+the production path: the whole ``WS`` table lives as one ``(V, O, k+1)``
+tensor over the indexed circuit, levels are swept output-side-first, and
+each level's gates resolve in a handful of NumPy reductions
+(Equation 1 via :func:`~repro.tech.glitch.propagate_width_grid`, the
+successor lookup as a gathered linear interpolation, Equation 2 as an
+``(E, O)`` share matrix from :class:`~repro.core.masking.MaskingStructure`).
+:func:`electrical_masking_reference` is the original dict-of-dicts
+per-gate walk, kept as the differential-testing and benchmarking
+baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping
 
 import numpy as np
 
+from repro.circuit.indexed import IndexedCircuit
 from repro.circuit.netlist import Circuit
-from repro.core.masking import propagation_shares, sensitization_to_input
+from repro.core.masking import (
+    MaskingStructure,
+    masking_structure,
+    propagation_shares,
+)
 from repro.errors import AnalysisError
 from repro.tech.electrical_view import CircuitElectrical
-from repro.tech.glitch import propagate_width_array
+from repro.tech.glitch import propagate_width_array, propagate_width_grid
+from repro.tech.lut import bracket_queries
 
 
 @dataclass(frozen=True)
-class ElectricalMaskingResult:
-    """Expected output glitch widths for one circuit + assignment."""
+class MaskingArrays:
+    """Dense form of one electrical-masking pass."""
 
-    #: The k sample widths ``ws_k`` (ascending, ps).
-    sample_widths: np.ndarray
-    #: ``tables[i][j]`` is the length-k array ``WS_ijk``.
-    tables: dict[str, dict[str, np.ndarray]]
-    #: ``expected[i][j]`` is ``W_ij`` — expected width at output j for
-    #: the strike-generated glitch at gate i.
-    expected: dict[str, dict[str, float]]
+    indexed: IndexedCircuit
+    #: Anchored ``WS`` tensor: ``ws[i, j, 1 + m]`` is ``WS_ijm`` and
+    #: ``ws[i, j, 0] == 0`` (the "vanished glitch" interpolation anchor).
+    ws: np.ndarray
+    #: ``expected[i, j]`` is ``W_ij`` — dense Equation-3 weights.
+    expected: np.ndarray
+
+    @cached_property
+    def populated_columns(self) -> dict[int, np.ndarray]:
+        """Output columns with a populated ``WS`` table, per gate row.
+
+        This is *the* sparsity rule of every name-keyed view (tables,
+        expected widths, report ``widths_by_output``): an output appears
+        exactly when the gate's table has a non-zero column for it —
+        matching the reference pass, which stores a row only when its
+        accumulated table is non-zero.
+        """
+        mask = self.ws.any(axis=2)
+        return {
+            int(row): np.flatnonzero(mask[row])
+            for row in self.indexed.gate_rows
+        }
+
+
+class ElectricalMaskingResult:
+    """Expected output glitch widths for one circuit + assignment.
+
+    The array path carries the dense tensors; ``tables`` and
+    ``expected`` — the original name-keyed views every existing caller
+    reads — materialize lazily from them (or are supplied directly by
+    the dict-based reference pass).
+    """
+
+    def __init__(
+        self,
+        sample_widths: np.ndarray,
+        tables: dict[str, dict[str, np.ndarray]] | None = None,
+        expected: dict[str, dict[str, float]] | None = None,
+        arrays: MaskingArrays | None = None,
+    ) -> None:
+        if arrays is None and (tables is None or expected is None):
+            raise AnalysisError(
+                "ElectricalMaskingResult needs either dict tables or arrays"
+            )
+        #: The k sample widths ``ws_k`` (ascending, ps).
+        self.sample_widths = sample_widths
+        self.arrays = arrays
+        self._tables = tables
+        self._expected = expected
+
+    @property
+    def tables(self) -> dict[str, dict[str, np.ndarray]]:
+        """``tables[i][j]`` is the length-k array ``WS_ijk``."""
+        if self._tables is None:
+            assert self.arrays is not None
+            idx = self.arrays.indexed
+            ws = self.arrays.ws
+            outputs = idx.circuit.outputs
+            self._tables = {
+                idx.order[row]: {
+                    outputs[col]: ws[row, col, 1:].copy() for col in cols
+                }
+                for row, cols in self.arrays.populated_columns.items()
+            }
+        return self._tables
+
+    @property
+    def expected(self) -> dict[str, dict[str, float]]:
+        """``expected[i][j]`` is ``W_ij`` — expected width at output j
+        for the strike-generated glitch at gate i."""
+        if self._expected is None:
+            assert self.arrays is not None
+            idx = self.arrays.indexed
+            exp = self.arrays.expected
+            outputs = idx.circuit.outputs
+            self._expected = {
+                idx.order[row]: {
+                    outputs[col]: float(exp[row, col]) for col in cols
+                }
+                for row, cols in self.arrays.populated_columns.items()
+            }
+        return self._expected
 
     def expected_width(self, gate_name: str, output_name: str) -> float:
+        if self.arrays is not None:
+            idx = self.arrays.indexed
+            row = idx.index.get(gate_name)
+            col = idx.output_col.get(output_name)
+            if row is None or col is None:
+                return 0.0
+            return float(self.arrays.expected[row, col])
         return self.expected.get(gate_name, {}).get(output_name, 0.0)
 
 
@@ -75,20 +175,114 @@ def default_sample_widths(
     return np.geomspace(low, high, n_samples)
 
 
+def _check_samples(sample_widths: np.ndarray) -> np.ndarray:
+    samples = np.asarray(sample_widths, dtype=np.float64)
+    if samples.ndim != 1 or samples.size < 2 or np.any(np.diff(samples) <= 0.0):
+        raise AnalysisError("sample widths must be a strictly increasing 1-D array")
+    return samples
+
+
 def electrical_masking(
     circuit: Circuit,
     elec: CircuitElectrical,
     probabilities: Mapping[str, float],
     sensitized_paths: Mapping[str, Mapping[str, float]],
     sample_widths: np.ndarray | None = None,
+    structure: MaskingStructure | None = None,
 ) -> ElectricalMaskingResult:
-    """Run the Section-3.2 pass; see the module docstring."""
+    """Run the Section-3.2 pass over the array core.
+
+    ``structure`` carries the assignment-independent Equation-2 shares;
+    pass a prebuilt one (as :class:`~repro.core.aserta.AsertaAnalyzer`
+    does) to amortize it over repeated analyses of one circuit.  A
+    supplied structure *replaces* ``probabilities`` and
+    ``sensitized_paths`` — it must have been built from the same
+    estimates, or the shares reflect stale ``P_ij``; building it from a
+    different circuit entirely is rejected.
+    """
     samples = (
         default_sample_widths(elec) if sample_widths is None
-        else np.asarray(sample_widths, dtype=np.float64)
+        else _check_samples(sample_widths)
     )
-    if samples.ndim != 1 or samples.size < 2 or np.any(np.diff(samples) <= 0.0):
-        raise AnalysisError("sample widths must be a strictly increasing 1-D array")
+    if structure is None:
+        structure = masking_structure(circuit, probabilities, sensitized_paths)
+    elif structure.indexed.circuit is not circuit:
+        raise AnalysisError(
+            "masking structure was built for a different circuit "
+            f"({structure.indexed.circuit.name!r} vs {circuit.name!r})"
+        )
+    idx = structure.indexed
+    arrays = elec.arrays()
+    delays = arrays["delay_ps"]
+    generated = arrays["generated_width_ps"]
+
+    n_samples = samples.size
+    anchored_x = np.concatenate(([0.0], samples))
+    ws = np.zeros((idx.n_signals, idx.n_outputs, n_samples + 1))
+
+    # Step (ii): PO gates present the samples directly to their latch
+    # and nothing to other latches.
+    po_rows = idx.output_rows
+    po_cols = idx.col_of_row[po_rows]
+    ws[po_rows, po_cols, 1:] = samples
+
+    # Equation 1 for the whole circuit: what each gate (as a successor)
+    # does to every sample width, and where that lands on the anchored
+    # grid (the same clamped-bracket semantics as every table lookup).
+    attenuated = propagate_width_grid(samples, delays)
+    low, high, frac = bracket_queries(anchored_x, attenuated, "width")
+
+    # Step (iii), one logic level at a time from the output side: gather
+    # successor tables, interpolate at the attenuated widths, combine
+    # with the Equation-2 shares, scatter-add onto the sources.
+    inner = ws[:, :, 1:]
+    edge_share = structure.edge_shares
+    edge_src, edge_dst = idx.edge_src, idx.edge_dst
+    for edges in structure.sweep_batches:
+        src, dst = edge_src[edges], edge_dst[edges]
+        tab = ws[dst]
+        f = frac[dst][:, np.newaxis, :]
+        t_lo = np.take_along_axis(tab, low[dst][:, np.newaxis, :], axis=2)
+        t_hi = np.take_along_axis(tab, high[dst][:, np.newaxis, :], axis=2)
+        contribution = t_lo * (1.0 - f) + t_hi * f
+        np.add.at(
+            inner, src, edge_share[edges][:, :, np.newaxis] * contribution
+        )
+
+    # Step (iv): expected widths for the generated glitches, one
+    # interpolation per (gate, output) out of the same tensor.
+    g_low, g_high, g_frac = bracket_queries(anchored_x, generated, "width")
+    g_lo = np.take_along_axis(ws, g_low[:, np.newaxis, np.newaxis], axis=2)
+    g_hi = np.take_along_axis(ws, g_high[:, np.newaxis, np.newaxis], axis=2)
+    expected = (
+        g_lo[:, :, 0] * (1.0 - g_frac[:, np.newaxis])
+        + g_hi[:, :, 0] * g_frac[:, np.newaxis]
+    )
+    # A PO gate's generated glitch reaches its own latch unattenuated.
+    expected[po_rows, po_cols] = generated[po_rows]
+
+    return ElectricalMaskingResult(
+        sample_widths=samples,
+        arrays=MaskingArrays(indexed=idx, ws=ws, expected=expected),
+    )
+
+
+def electrical_masking_reference(
+    circuit: Circuit,
+    elec: CircuitElectrical,
+    probabilities: Mapping[str, float],
+    sensitized_paths: Mapping[str, Mapping[str, float]],
+    sample_widths: np.ndarray | None = None,
+) -> ElectricalMaskingResult:
+    """The original per-gate dict walk (the seed implementation).
+
+    Kept verbatim as the baseline the vectorized pass is differential-
+    tested and benchmarked against; see the module docstring.
+    """
+    samples = (
+        default_sample_widths(elec) if sample_widths is None
+        else _check_samples(sample_widths)
+    )
 
     tables: dict[str, dict[str, np.ndarray]] = {}
     expected: dict[str, dict[str, float]] = {}

@@ -12,13 +12,26 @@ propagate).
 
 chosen, as the paper requires, so that ``sum_s pi_isj * P_sj = P_ij``
 (the normalization Lemma 1 relies on).
+
+Two implementations live here: the scalar, name-keyed functions the
+paper-shaped code and the tests read, and :class:`MaskingStructure` —
+the same mathematics reduced once over the circuit's
+:class:`~repro.circuit.indexed.IndexedCircuit` edge arrays, giving the
+dense ``(E, O)`` share matrix the vectorized Section-3.2 sweep consumes.
+Everything in the structure is *structural* (it depends on the netlist,
+the static probabilities and ``P_ij``, never on a parameter assignment),
+so an analyzer builds it once and reuses it for every ``analyze`` call.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.circuit.gate import GateType
+from repro.circuit.indexed import IndexedCircuit
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 
@@ -84,6 +97,116 @@ def propagation_shares(
         successor: s_is * p_ij / denominator
         for successor, s_is in weights.items()
     }
+
+
+@dataclass(frozen=True)
+class MaskingStructure:
+    """Dense, assignment-independent form of Equations 1-prep and 2.
+
+    Edge arrays follow ``indexed.edge_src`` / ``indexed.edge_dst`` order
+    (CSR by source, successors in :meth:`Circuit.fanouts` order), so
+    array reductions accumulate in the same sequence as the scalar
+    reference code.
+    """
+
+    indexed: IndexedCircuit
+    #: ``P_ij`` densified: ``(V, O)``.
+    p_matrix: np.ndarray
+    #: ``pi_isj`` per edge and output: ``(E, O)``.
+    edge_shares: np.ndarray
+    #: Edge-id batches for the reverse sweep, grouped by source logic
+    #: level in descending order; sources are internal (non-input,
+    #: non-PO) signals only, so every batch reads only finished rows.
+    sweep_batches: tuple[np.ndarray, ...]
+
+
+def edge_sensitizations(
+    circuit: Circuit,
+    probabilities: Mapping[str, float],
+    indexed: IndexedCircuit | None = None,
+) -> np.ndarray:
+    """``S_is`` for every fanout edge, aligned with ``indexed.edge_src``.
+
+    Computed destination-by-destination (each gate's fan-in list is a
+    handful of entries) and scattered onto the edge array; this runs once
+    per analyzer, not per analysis.
+    """
+    idx = circuit.indexed() if indexed is None else indexed
+    # Missing entries must fail loudly, exactly like the scalar path's
+    # probabilities[other] KeyError — a silent 0.0 default would zero
+    # the Equation-2 shares and under-report unreliability.
+    present = np.zeros(idx.n_signals, dtype=bool)
+    for name in probabilities:
+        row = idx.index.get(name)
+        if row is not None:
+            present[row] = True
+    if idx.fanin_src.size:
+        missing_rows = np.unique(idx.fanin_src[~present[idx.fanin_src]])
+        if missing_rows.size:
+            names = [idx.order[row] for row in missing_rows[:5]]
+            raise AnalysisError(
+                f"probabilities missing for fan-in signals {names}"
+            )
+    prob = idx.gather(probabilities)
+    edge_s = np.zeros(idx.n_edges)
+    slot = idx.edge_slot
+    for s_row in idx.gate_rows:
+        gtype = idx.gtypes[s_row]
+        fanins = idx.fanins_of(s_row)
+        s = int(s_row)
+        if gtype in (GateType.BUF, GateType.NOT, GateType.XOR, GateType.XNOR):
+            for i_row in fanins:
+                edge_s[slot[(int(i_row), s)]] = 1.0
+            continue
+        factors = (
+            prob[fanins]
+            if gtype in (GateType.AND, GateType.NAND)
+            else 1.0 - prob[fanins]
+        )
+        # Fan-ins are unique by Gate construction, so position masking
+        # is the "all others" product of the scalar path.
+        for t, i_row in enumerate(fanins):
+            others = np.delete(factors, t)
+            edge_s[slot[(int(i_row), s)]] = float(np.prod(others))
+    return edge_s
+
+
+def masking_structure(
+    circuit: Circuit,
+    probabilities: Mapping[str, float],
+    sensitized_paths: Mapping[str, Mapping[str, float]],
+    indexed: IndexedCircuit | None = None,
+) -> MaskingStructure:
+    """Build the dense Equation-2 structure for one circuit."""
+    idx = circuit.indexed() if indexed is None else indexed
+    p = idx.output_matrix(sensitized_paths)
+    edge_s = edge_sensitizations(circuit, probabilities, idx)
+
+    # denom[i, j] = sum over successors s of S_is * P_sj (zero-weight
+    # terms add exactly 0.0, so this equals the scalar running sum).
+    denom = np.zeros((idx.n_signals, idx.n_outputs))
+    np.add.at(denom, idx.edge_src, edge_s[:, np.newaxis] * p[idx.edge_dst])
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        shares = (edge_s[:, np.newaxis] * p[idx.edge_src]) / denom[idx.edge_src]
+    # The scalar path drops successors with no sensitizable route to j
+    # (S_is * P_sj == 0) and whole rows whose denominator underflows.
+    shares = np.where(p[idx.edge_dst] > 0.0, shares, 0.0)
+    shares = np.where(denom[idx.edge_src] > _EPSILON, shares, 0.0)
+
+    internal = ~idx.is_input & ~idx.is_output
+    batches: list[np.ndarray] = []
+    edge_ids = np.flatnonzero(internal[idx.edge_src])
+    if edge_ids.size:
+        src_levels = idx.level[idx.edge_src[edge_ids]]
+        for level in np.unique(src_levels)[::-1]:
+            batches.append(edge_ids[src_levels == level])
+    return MaskingStructure(
+        indexed=idx,
+        p_matrix=p,
+        edge_shares=shares,
+        sweep_batches=tuple(batches),
+    )
 
 
 def verify_share_identity(

@@ -9,12 +9,25 @@ a gate intercepts, giving the per-gate contribution
     U_i = Z_i * sum_j W_ij                                     (Eq 3)
 
 and the circuit unreliability ``U = sum_i U_i`` (Eq 4).
+
+Both equations are plain reductions; the array path evaluates them with
+:func:`gate_contributions` / :func:`total_unreliability` on the dense
+``(V, O)`` expected-width matrix (:func:`build_report_from_arrays`
+stores the dense Equation-4 total on the report it assembles), while the
+name-keyed per-gate view is materialized alongside for every existing
+caller.  Dict-summed and dense totals agree to floating-point
+reassociation, which the test suite pins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.electrical_masking import MaskingArrays
 
 
 @dataclass(frozen=True)
@@ -46,10 +59,15 @@ class UnreliabilityReport:
 
     circuit_name: str
     per_gate: dict[str, GateUnreliability]
+    #: Equation-4 total precomputed by the array path's dense reduction
+    #: (:func:`total_unreliability`); ``None`` means "sum the dicts".
+    dense_total: float | None = None
 
     @property
     def total(self) -> float:
         """``U`` of Equation 4."""
+        if self.dense_total is not None:
+            return self.dense_total
         return sum(entry.contribution for entry in self.per_gate.values())
 
     def contribution(self, gate_name: str) -> float:
@@ -88,3 +106,50 @@ def build_report(
         for name in generated_widths
     }
     return UnreliabilityReport(circuit_name=circuit_name, per_gate=per_gate)
+
+
+def gate_contributions(
+    sizes: np.ndarray, expected_matrix: np.ndarray
+) -> np.ndarray:
+    """Equation 3 as one reduction: ``U_i = Z_i * sum_j W_ij`` per row."""
+    return sizes * expected_matrix.sum(axis=1)
+
+
+def total_unreliability(contributions: np.ndarray) -> float:
+    """Equation 4: ``U = sum_i U_i``."""
+    return float(contributions.sum())
+
+
+def build_report_from_arrays(
+    circuit_name: str,
+    masking_arrays: "MaskingArrays",
+    generated: np.ndarray,
+    sizes: np.ndarray,
+) -> UnreliabilityReport:
+    """The array path's report: same :class:`UnreliabilityReport` view,
+    assembled from the dense masking tensors.
+
+    ``widths_by_output`` keeps the reference path's sparsity — an output
+    appears exactly when the gate's ``WS`` table has a populated column
+    for it — so reports from both paths compare structurally equal.
+    """
+    idx = masking_arrays.indexed
+    expected = masking_arrays.expected
+    outputs = idx.circuit.outputs
+    per_gate: dict[str, GateUnreliability] = {}
+    for row, cols in masking_arrays.populated_columns.items():
+        name = idx.order[row]
+        per_gate[name] = GateUnreliability(
+            gate=name,
+            generated_width_ps=float(generated[row]),
+            size=float(sizes[row]),
+            widths_by_output={
+                outputs[col]: float(expected[row, col]) for col in cols
+            },
+        )
+    # Equations 3-4 as the dense reductions; input rows have zero
+    # expected width, so reducing over all rows equals the gate sum.
+    total = total_unreliability(gate_contributions(sizes, expected))
+    return UnreliabilityReport(
+        circuit_name=circuit_name, per_gate=per_gate, dense_total=total
+    )

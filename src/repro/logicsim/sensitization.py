@@ -123,6 +123,29 @@ def _flip_and_observe(
     return diffs
 
 
+def sensitization_matrix(
+    circuit: Circuit,
+    n_vectors: int = 10000,
+    seed: int = 0,
+    simulator: BitParallelSimulator | None = None,
+    sensitized_paths: Mapping[str, Mapping[str, float]] | None = None,
+) -> np.ndarray:
+    """Dense ``(V, O)`` form of ``P_ij`` over ``circuit.indexed()``.
+
+    Row order is the indexed circuit's topological order; columns are
+    primary outputs in declaration order.  Pass ``sensitized_paths`` to
+    densify an existing estimate instead of re-simulating.  This is a
+    convenience wrapper over ``IndexedCircuit.output_matrix`` — the same
+    densification :func:`repro.core.masking.masking_structure` performs
+    internally — for callers that want the matrix without an analyzer.
+    """
+    if sensitized_paths is None:
+        sensitized_paths = sensitization_probabilities(
+            circuit, n_vectors=n_vectors, seed=seed, simulator=simulator
+        )
+    return circuit.indexed().output_matrix(sensitized_paths)
+
+
 def observability(
     sensitization: Mapping[str, Mapping[str, float]],
 ) -> dict[str, float]:

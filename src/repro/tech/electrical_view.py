@@ -15,9 +15,22 @@ computes, in one forward topological pass:
 interpolated :class:`~repro.tech.table_builder.TechnologyTables` (the
 paper's ASERTA architecture); ``use_tables=False`` evaluates the
 continuous model directly (the "SPICE" reference path).
+
+The table path runs *vectorized* by default: per-axis grid brackets are
+computed once for the whole gate population
+(:func:`repro.tech.lut.bracket_queries`), gates carry a table id from
+the circuit's :class:`~repro.circuit.indexed.IndexedCircuit` grouping,
+and each table *kind* resolves in a single gather through the stacked
+value tensor (:meth:`TechnologyTables.stacked_values` +
+:func:`repro.tech.lut.stacked_lookup`), with loads and ramps reduced
+over the CSR adjacency arrays.  ``vectorized=False`` keeps the original
+per-gate loop — the reference against which the array path is
+differential-tested and benchmarked.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.circuit.gate import GateType
 from repro.circuit.netlist import Circuit
@@ -26,7 +39,39 @@ from repro.tech import constants as k
 from repro.tech import gate_electrical as ge
 from repro.tech.glitch import generated_width_ps
 from repro.tech.library import ParameterAssignment
+from repro.tech.lut import bracket_queries, stacked_lookup
 from repro.tech.table_builder import TechnologyTables, default_tables
+
+
+def cell_param_arrays(
+    indexed, assignment: ParameterAssignment
+) -> dict[str, np.ndarray]:
+    """Dense per-row ``size`` / ``length_nm`` / ``vdd`` / ``vth`` arrays
+    for one assignment over an :class:`IndexedCircuit`.
+
+    The single place the default-fill-plus-override-scatter semantics
+    live (overrides naming unknown signals are ignored; dtype is pinned
+    to float64 so int-valued ``CellParams`` cannot truncate float
+    overrides); both the electrical annotation and the analyzer's Eq-3
+    size weights read it.
+    """
+    n = indexed.n_signals
+    default = assignment.default
+    arrays = {
+        "size": np.full(n, default.size, dtype=np.float64),
+        "length_nm": np.full(n, default.length_nm, dtype=np.float64),
+        "vdd": np.full(n, default.vdd, dtype=np.float64),
+        "vth": np.full(n, default.vth, dtype=np.float64),
+    }
+    for name, cell in assignment.overrides().items():
+        row = indexed.index.get(name)
+        if row is None:
+            continue
+        arrays["size"][row] = cell.size
+        arrays["length_nm"][row] = cell.length_nm
+        arrays["vdd"][row] = cell.vdd
+        arrays["vth"][row] = cell.vth
+    return arrays
 
 
 class CircuitElectrical:
@@ -40,6 +85,7 @@ class CircuitElectrical:
         use_tables: bool = True,
         charge_fc: float = k.DEFAULT_CHARGE_FC,
         clock_period_ps: float = k.CLOCK_PERIOD_PS,
+        vectorized: bool | None = None,
     ) -> None:
         if charge_fc < 0.0:
             raise TechnologyError(f"charge must be >= 0, got {charge_fc}")
@@ -51,6 +97,11 @@ class CircuitElectrical:
         self.tables = tables if tables is not None else default_tables()
         self.charge_fc = charge_fc
         self.clock_period_ps = clock_period_ps
+        # The continuous ("SPICE") model is scalar code; only the table
+        # path has an array implementation.
+        self.vectorized = use_tables if vectorized is None else (
+            vectorized and use_tables
+        )
 
         self.load_ff: dict[str, float] = {}
         self.input_ramp_ps: dict[str, float] = {}
@@ -60,10 +111,19 @@ class CircuitElectrical:
         self.generated_width_ps: dict[str, float] = {}
         self.static_power_uw: dict[str, float] = {}
         self.area_units: dict[str, float] = {}
-        self._annotate()
+
+        #: Dense per-row arrays over ``circuit.indexed()`` (the array
+        #: analysis path); populated by the vectorized annotation, built
+        #: on demand otherwise.
+        self._arrays: dict[str, np.ndarray] | None = None
+
+        if self.vectorized:
+            self._annotate_arrays()
+        else:
+            self._annotate()
 
     # ------------------------------------------------------------------
-    # Annotation passes
+    # Scalar annotation (the reference path)
     # ------------------------------------------------------------------
 
     def _input_cap(self, name: str) -> float:
@@ -136,6 +196,168 @@ class CircuitElectrical:
             self.area_units[name] = ge.area_units(
                 gtype, fanin, params.size, params.length_nm
             )
+
+    # ------------------------------------------------------------------
+    # Array annotation (the vectorized table path)
+    # ------------------------------------------------------------------
+
+    def _annotate_arrays(self) -> None:
+        idx = self.circuit.indexed()
+        if not idx.group_pairs:
+            # Gate-less (pure feed-through) circuit: nothing to batch,
+            # and np.stack of zero tables is an error — the scalar loop
+            # handles it directly.
+            self._annotate()
+            return
+        n = idx.n_signals
+        assignment = self.assignment
+        tables = self.tables
+        rows = idx.gate_rows
+        gid = idx.group_id[rows]
+        pairs = idx.group_pairs
+
+        # Per-row cell parameters (defaults on input rows are unused).
+        params = cell_param_arrays(idx, assignment)
+        size = params["size"]
+        length = params["length_nm"]
+        vdd = params["vdd"]
+        vth = params["vth"]
+
+        # Axis brackets are shared by every table kind (all kinds sample
+        # the same grids), so each is computed once for the whole gate
+        # population; each kind is then a single stacked gather.
+        br_size = bracket_queries(tables.sizes, size[rows], "size")
+        br_length = bracket_queries(tables.lengths_nm, length[rows], "length")
+        br_vdd = bracket_queries(tables.vdds, vdd[rows], "vdd")
+        br_vth = bracket_queries(tables.vths, vth[rows], "vth")
+        cell_br = [br_size, br_length, br_vdd, br_vth]
+
+        # Input-pin capacitance, then load: wire + successor pins (CSR
+        # sum, same edge order as the scalar loop) + latch capacitance.
+        input_cap = np.zeros(n)
+        input_cap[rows] = stacked_lookup(
+            tables.stacked_values("input_cap", pairs), gid, [br_size, br_length]
+        )
+        fanout_counts = np.diff(idx.fanout_ptr)
+        load = k.WIRE_CAP_PER_FANOUT_FF * np.maximum(1, fanout_counts).astype(
+            np.float64
+        )
+        np.add.at(load, idx.edge_src, input_cap[idx.edge_dst])
+        load[idx.is_output] += k.LATCH_CAP_FF
+        br_load = bracket_queries(tables.loads_ff, load[rows], "load")
+
+        # Output ramps depend only on the cell and its load, so the whole
+        # circuit resolves in one pass; input ramps are then a CSR max.
+        out_ramp = np.full(n, k.PRIMARY_INPUT_RAMP_PS)
+        out_ramp[rows] = stacked_lookup(
+            tables.stacked_values("ramp", pairs), gid, cell_br + [br_load]
+        )
+        # CSR max over fan-ins: reduceat runs only at the starts of
+        # non-empty segments (consecutive starts are then strictly
+        # increasing and in range), so zero-fanin rows anywhere in the
+        # order neither crash nor truncate a neighbouring segment.
+        ramp_in = np.zeros(n)
+        has_fanins = np.diff(idx.fanin_ptr) > 0
+        if has_fanins.any():
+            ramp_in[has_fanins] = np.maximum.reduceat(
+                out_ramp[idx.fanin_src], idx.fanin_ptr[:-1][has_fanins]
+            )
+        br_ramp = bracket_queries(tables.ramps_ps, ramp_in[rows], "ramp")
+        br_charge = bracket_queries(
+            tables.charges_fc, np.float64(self.charge_fc), "charge"
+        )
+
+        delay = np.zeros(n)
+        delay[rows] = stacked_lookup(
+            tables.stacked_values("delay", pairs), gid,
+            cell_br + [br_load, br_ramp],
+        )
+        width = np.zeros(n)
+        width[rows] = stacked_lookup(
+            tables.stacked_values("glitch", pairs), gid,
+            cell_br + [br_load, br_charge],
+        )
+        leak = np.zeros(n)
+        leak[rows] = stacked_lookup(
+            tables.stacked_values("static_power", pairs), gid, cell_br
+        )
+
+        # Node capacitance and area follow the same arithmetic sequence
+        # as ge.self_capacitance_ff / ge.area_units, per population.
+        node_cap = np.zeros(n)
+        area = np.zeros(n)
+        self_cap_factors = np.array(
+            [ge.self_cap_factor(gtype, fanin) for gtype, fanin in pairs]
+        )
+        transistor_counts = np.array(
+            [float(ge.transistor_count(gtype, fanin)) for gtype, fanin in pairs]
+        )
+        width_nm = size[rows] * k.WIDTH_PER_SIZE_NM
+        node_cap[rows] = (
+            k.DRAIN_CAP_PER_NM_FF * width_nm * self_cap_factors[gid]
+            + load[rows]
+        )
+        area[rows] = (
+            transistor_counts[gid]
+            * size[rows]
+            * (length[rows] / k.NOMINAL_LENGTH_NM)
+        )
+
+        self._arrays = {
+            "load_ff": load,
+            "input_ramp_ps": ramp_in,
+            "output_ramp_ps": out_ramp,
+            "delay_ps": delay,
+            "node_cap_ff": node_cap,
+            "generated_width_ps": width,
+            "static_power_uw": leak,
+            "area_units": area,
+            # The scattered cell parameters, so array consumers (the
+            # analyzer's Eq-3 size weights) don't rebuild them.
+            "size": size,
+            "length_nm": length,
+            "vdd": vdd,
+            "vth": vth,
+        }
+
+        # Materialize the dict views the rest of the library reads.
+        order = idx.order
+        gate_rows = idx.gate_rows
+        self.load_ff = {order[i]: float(load[i]) for i in range(n)}
+        self.output_ramp_ps = {order[i]: float(out_ramp[i]) for i in range(n)}
+        for i in gate_rows:
+            name = order[i]
+            self.input_ramp_ps[name] = float(ramp_in[i])
+            self.delay_ps[name] = float(delay[i])
+            self.node_cap_ff[name] = float(node_cap[i])
+            self.generated_width_ps[name] = float(width[i])
+            self.static_power_uw[name] = float(leak[i])
+            self.area_units[name] = float(area[i])
+
+    # ------------------------------------------------------------------
+    # Array access
+    # ------------------------------------------------------------------
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Dense per-row views over ``circuit.indexed()``.
+
+        Populated natively by the vectorized annotation; gathered from
+        the dicts (and cached) when the scalar reference or continuous
+        model produced them.
+        """
+        if self._arrays is None:
+            idx = self.circuit.indexed()
+            self._arrays = {
+                "load_ff": idx.gather(self.load_ff),
+                "input_ramp_ps": idx.gather(self.input_ramp_ps),
+                "output_ramp_ps": idx.gather(self.output_ramp_ps),
+                "delay_ps": idx.gather(self.delay_ps),
+                "node_cap_ff": idx.gather(self.node_cap_ff),
+                "generated_width_ps": idx.gather(self.generated_width_ps),
+                "static_power_uw": idx.gather(self.static_power_uw),
+                "area_units": idx.gather(self.area_units),
+            }
+        return self._arrays
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -105,6 +105,49 @@ class GridTable:
                 total += weight * float(self._values[tuple(index)])
         return total
 
+    def lookup_many(self, **coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup`: one query per element of the
+        coordinate arrays (all broadcast to a common shape).
+
+        A thin convenience wrapper over :func:`stacked_lookup` with a
+        single-table stack — the one home of the vectorized
+        interpolation (corner gather + axis reduction; fractions of
+        exactly 0 or 1 select their corner outright, shielding
+        non-finite cells they do not touch).  Hot paths that share
+        brackets across several tables compose
+        :func:`bracket_queries` + :func:`stacked_lookup` directly; the
+        scalar :meth:`lookup` keeps its own independent loop on purpose
+        (it is the seed reference the vectorized path is
+        differential-tested against), and the test suite pins all of
+        them together.
+        """
+        missing = [name for name in self._names if name not in coords]
+        if missing:
+            raise TableError(f"missing coordinates for axes {missing}")
+        extra = [name for name in coords if name not in self._names]
+        if extra:
+            raise TableError(f"unknown axes {extra}; table has {self._names}")
+
+        queries = [
+            np.asarray(coords[name], dtype=np.float64) for name in self._names
+        ]
+        shape = np.broadcast_shapes(*(q.shape for q in queries))
+        brackets = []
+        for name, grid, query in zip(self._names, self._grids, queries):
+            low, high, frac = _bracket_array(grid, query, name)
+            brackets.append(
+                (
+                    np.broadcast_to(low, shape),
+                    np.broadcast_to(high, shape),
+                    np.broadcast_to(frac, shape),
+                )
+            )
+        return stacked_lookup(
+            self._values[np.newaxis],
+            np.zeros(shape, dtype=np.int64),
+            brackets,
+        )
+
     def __repr__(self) -> str:
         shape = "x".join(str(g.size) for g in self._grids)
         return f"GridTable(axes={self._names}, shape={shape})"
@@ -125,6 +168,77 @@ def _bracket(grid: np.ndarray, value: float, name: str) -> tuple[int, int, float
     low = high - 1
     span = grid[high] - grid[low]
     return low, high, float((value - grid[low]) / span)
+
+
+def _bracket_array(
+    grid: np.ndarray, values: np.ndarray, name: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`_bracket`: per-query bracket indices + fractions,
+    clamped to the grid ends exactly like the scalar path."""
+    values = np.asarray(values, dtype=np.float64)
+    if np.isnan(values).any():
+        raise TableError(f"coordinate for axis {name!r} is NaN")
+    if grid.size == 1:
+        zero_i = np.zeros(values.shape, dtype=np.int64)
+        return zero_i, zero_i, np.zeros(values.shape)
+    high = np.searchsorted(grid, values, side="right")
+    high = np.minimum(np.maximum(high, 1), grid.size - 1)
+    low = high - 1
+    frac = (values - grid[low]) / (grid[high] - grid[low])
+    frac = np.minimum(np.maximum(frac, 0.0), 1.0)
+    # Clamped queries collapse to a single grid point (fraction 0), as in
+    # the scalar bracket, so out-of-range queries never read a second cell.
+    at_top = values >= grid[-1]
+    low = np.where(at_top, grid.size - 1, low)
+    high = np.where(at_top, grid.size - 1, high)
+    frac = np.where(at_top | (values <= grid[0]), 0.0, frac)
+    return low, high, frac
+
+
+def bracket_queries(
+    grid: np.ndarray | Sequence[float], values: np.ndarray, name: str = "axis"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Public form of :func:`_bracket_array`, for callers that prepare
+    brackets once and reuse them across several stacked lookups."""
+    return _bracket_array(np.asarray(grid, dtype=np.float64), values, name)
+
+
+def stacked_lookup(
+    stack: np.ndarray,
+    table_ids: np.ndarray,
+    brackets: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Multilinear interpolation through a *stack* of same-shaped tables.
+
+    ``stack`` has shape ``(T, *grid_shape)`` — one table per leading
+    index; query ``q`` reads table ``table_ids[q]`` at the per-axis
+    ``(low, high, fraction)`` brackets.  The whole corner hypercube is
+    gathered with a single fancy index and reduced one axis at a time,
+    so a circuit-wide population (one query per gate, each possibly
+    hitting a different table) costs a fixed, small number of NumPy
+    kernels.  Fractions of exactly 0 or 1 select their corner outright,
+    keeping boundary queries immune to non-finite cells they don't touch.
+    """
+    d = len(brackets)
+    n = table_ids.shape
+    index: list[np.ndarray] = [table_ids.reshape((1,) * d + n)]
+    for axis, (low, high, __) in enumerate(brackets):
+        pair = np.stack([low, high])
+        # Scalar brackets (one query shared by the population) broadcast
+        # across the trailing query dimensions.
+        tail = pair.shape[1:] if pair.ndim > 1 else (1,) * len(n)
+        shape = (1,) * axis + (2,) + (1,) * (d - axis - 1) + tail
+        index.append(pair.reshape(shape))
+    corners = stack[tuple(index)]
+    for axis in range(d):
+        frac = brackets[axis][2]
+        low_val, high_val = corners[0], corners[1]
+        with np.errstate(invalid="ignore"):
+            blend = low_val * (1.0 - frac) + high_val * frac
+        corners = np.where(
+            frac == 0.0, low_val, np.where(frac == 1.0, high_val, blend)
+        )
+    return corners
 
 
 def interp_monotone(

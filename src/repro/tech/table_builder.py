@@ -72,6 +72,7 @@ class TechnologyTables:
             if len(axis) == 0 or any(b <= a for a, b in zip(axis, axis[1:])):
                 raise TableError(f"grid {axis_name!r} must be strictly increasing")
         self._cache: dict[tuple[str, GateType, int], GridTable] = {}
+        self._stack_cache: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Table construction
@@ -93,6 +94,27 @@ class TechnologyTables:
             table = builder(gtype, fanin)
             self._cache[key] = table
         return table
+
+    def stacked_values(
+        self, kind: str, pairs: tuple[tuple[GateType, int], ...]
+    ) -> np.ndarray:
+        """``(len(pairs), *grid_shape)`` value tensor for one table kind.
+
+        Every ``(gate type, fan-in)`` table of a kind samples the same
+        grids, so their value arrays stack into one tensor indexable by
+        a per-gate table id — the shape
+        :func:`~repro.tech.lut.stacked_lookup` consumes.  Cached per
+        ``(kind, pairs)``; circuits sharing gate populations share the
+        stack.
+        """
+        key = (kind, pairs)
+        stack = self._stack_cache.get(key)
+        if stack is None:
+            stack = np.stack(
+                [self._get(kind, gtype, fanin).values for gtype, fanin in pairs]
+            )
+            self._stack_cache[key] = stack
+        return stack
 
     def _build_delay(self, gtype: GateType, fanin: int) -> GridTable:
         axes = self._cell_axes() + [("load", self.loads_ff), ("ramp", self.ramps_ps)]

@@ -221,6 +221,47 @@ class TestResultStore:
         assert outcome.skipped == narrow.size()
         assert outcome.computed == wide.size() - narrow.size()
 
+    def test_foreign_spec_results_are_not_skipped(self, tmp_path):
+        """A store holding results for a *different* spec digest must not
+        satisfy this campaign's scenarios — every axis change re-keys."""
+        path = tmp_path / "store.jsonl"
+        base = small_spec(charges_fc=(4.0,))
+        CampaignRunner(base, store=ResultStore(path)).run(parallel=False)
+        foreign_specs = {
+            "charge": small_spec(charges_fc=(5.0,)),
+            "n_vectors": small_spec(charges_fc=(4.0,), n_vectors=300),
+            "seed": small_spec(charges_fc=(4.0,), seed=4),
+            "sample_widths": small_spec(
+                charges_fc=(4.0,), sample_width_counts=(8,)
+            ),
+            "assignment": small_spec(
+                charges_fc=(4.0,),
+                assignments={
+                    "nominal": ParameterAssignment(
+                        overrides={"22": CellParams(size=2.0)}
+                    )
+                },
+            ),
+            "environment": small_spec(
+                charges_fc=(4.0,),
+                environments=(
+                    # Same name, different content: renaming-safe digests
+                    # must treat this as new work.
+                    Environment(name="sea-level", flux_multiplier=7.0),
+                    Environment(name="avionics", flux_multiplier=900.0),
+                ),
+            ),
+        }
+        for axis, spec in foreign_specs.items():
+            outcome = CampaignRunner(spec, store=ResultStore(path)).run(
+                parallel=False
+            )
+            assert outcome.skipped == 0, f"{axis} change wrongly skipped"
+            assert outcome.computed == spec.size(), axis
+        # The original campaign still resumes cleanly from the same store.
+        again = CampaignRunner(base, store=ResultStore(path)).run(parallel=False)
+        assert again.computed == 0 and again.skipped == base.size()
+
     def test_torn_final_line_is_ignored(self, tmp_path):
         path = tmp_path / "store.jsonl"
         spec = small_spec()
@@ -309,6 +350,53 @@ class TestRunner:
             # Same underlying analysis: identical U, only one timed run.
             assert group[0].unreliability_total == group[1].unreliability_total
             assert sum(1 for r in group if r.analyze_runtime_s > 0.0) == 1
+
+    def test_serial_parallel_equivalence_through_array_path(self, tmp_path):
+        """Multi-axis grid (assignments x charges x sample-width counts)
+        through the vectorized analyze(): forced 2-worker pool and serial
+        execution must agree result-for-result, and both must match a
+        direct array-engine analysis outside the campaign machinery."""
+        from repro.circuit.iscas85 import iscas85_circuit
+        from repro.core.aserta import AsertaAnalyzer
+
+        spec = CampaignSpec(
+            circuits=("c17",),
+            charges_fc=(8.0, 16.0),
+            environments=(SEA_LEVEL,),
+            assignments={
+                "nominal": ParameterAssignment(),
+                "hardened": ParameterAssignment(
+                    default=CellParams(size=2.0, length_nm=100.0)
+                ),
+            },
+            sample_width_counts=(6, 10),
+            n_vectors=250,
+            seed=7,
+        )
+        serial = CampaignRunner(spec, store=ResultStore()).run(parallel=False)
+        pooled = CampaignRunner(spec, store=ResultStore(), max_workers=2).run(
+            parallel=True
+        )
+        assert serial.computed == pooled.computed == spec.size()
+        assert [(r.digest(), r.unreliability_total, r.fit) for r in serial.results] == [
+            (r.digest(), r.unreliability_total, r.fit) for r in pooled.results
+        ]
+        # Cross-check one scenario against a direct array-path analysis.
+        analyzer = AsertaAnalyzer(
+            iscas85_circuit("c17"), spec.aserta_config(6)
+        )
+        direct = analyzer.analyze(
+            spec.assignments["hardened"], charge_fc=8.0, n_sample_widths=6
+        )
+        by_key = {
+            (
+                r.key.assignment,
+                r.key.charge_fc,
+                r.key.n_sample_widths,
+            ): r.unreliability_total
+            for r in serial.results
+        }
+        assert by_key[("hardened", 8.0, 6)] == direct.total
 
     def test_outcome_accounting(self):
         spec = small_spec(charges_fc=(4.0,))

@@ -1,0 +1,228 @@
+"""Differential tests: dict-based reference pass vs. the array core.
+
+Randomly generated circuits (:mod:`repro.circuit.generator`) are pushed
+through both implementations of every rewritten layer — the electrical
+annotation, the Section-3.2 masking sweep, and the full ``analyze`` —
+asserting identical sample-width tables, expected widths and per-gate
+contributions.  "Identical" here is floating-point identical up to
+reassociation noise (1e-9 relative is orders of magnitude looser than
+the observed differences, which sit at the last few ulps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.generator import GeneratorSpec, generate_circuit
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.core.electrical_masking import (
+    electrical_masking,
+    electrical_masking_reference,
+)
+from repro.tech.library import CellParams, ParameterAssignment
+
+RTOL = 1e-9
+SPECS = [
+    GeneratorSpec("diff-control", 6, 3, 40, 5, seed=2, flavor="control"),
+    GeneratorSpec("diff-alu", 8, 4, 70, 6, seed=17, flavor="alu"),
+    GeneratorSpec("diff-parity", 5, 2, 30, 4, seed=33, flavor="parity"),
+    GeneratorSpec("diff-deep", 4, 2, 48, 12, seed=71, flavor="control"),
+    GeneratorSpec("diff-wide", 16, 8, 90, 4, seed=5, flavor="alu"),
+]
+
+
+def _mixed_assignment(circuit, seed: int) -> ParameterAssignment:
+    """A non-uniform assignment hitting several table cells per axis."""
+    rng = np.random.default_rng(seed)
+    assignment = ParameterAssignment()
+    for gate in circuit.gates():
+        if rng.random() < 0.5:
+            continue
+        assignment.set(
+            gate.name,
+            CellParams(
+                size=float(rng.choice([0.5, 1.0, 2.0, 3.0])),
+                length_nm=float(rng.choice([70.0, 100.0, 150.0])),
+                vdd=float(rng.choice([0.8, 1.0, 1.2])),
+                vth=float(rng.choice([0.2, 0.3])),
+            ),
+        )
+    return assignment
+
+
+@pytest.fixture(params=range(len(SPECS)), ids=[s.name for s in SPECS])
+def case(request):
+    spec = SPECS[request.param]
+    circuit = generate_circuit(spec)
+    analyzer = AsertaAnalyzer(
+        circuit, AsertaConfig(n_vectors=256, seed=spec.seed)
+    )
+    assignment = _mixed_assignment(circuit, spec.seed)
+    return circuit, analyzer, assignment
+
+
+class TestElectricalViewDifferential:
+    def test_annotation_dicts_agree(self, case):
+        circuit, analyzer, assignment = case
+        scalar = analyzer.electrical_view(assignment, vectorized=False)
+        arrays = analyzer.electrical_view(assignment, vectorized=True)
+        for attr in (
+            "load_ff", "input_ramp_ps", "output_ramp_ps", "delay_ps",
+            "node_cap_ff", "generated_width_ps", "static_power_uw",
+            "area_units",
+        ):
+            want = getattr(scalar, attr)
+            got = getattr(arrays, attr)
+            assert set(want) == set(got), attr
+            for name, value in want.items():
+                assert got[name] == pytest.approx(
+                    value, rel=RTOL, abs=1e-15
+                ), (attr, name)
+
+
+class TestMaskingDifferential:
+    def test_tables_and_expected_identical(self, case):
+        circuit, analyzer, assignment = case
+        elec = analyzer.electrical_view(assignment)
+        reference = electrical_masking_reference(
+            circuit, elec, analyzer.probabilities, analyzer.sensitized_paths
+        )
+        vectorized = electrical_masking(
+            circuit,
+            elec,
+            analyzer.probabilities,
+            analyzer.sensitized_paths,
+            structure=analyzer.structure,
+        )
+        np.testing.assert_allclose(
+            vectorized.sample_widths, reference.sample_widths, rtol=0
+        )
+        assert set(reference.tables) == set(vectorized.tables)
+        for gate, row in reference.tables.items():
+            assert set(row) == set(vectorized.tables[gate]), gate
+            for output, table in row.items():
+                np.testing.assert_allclose(
+                    vectorized.tables[gate][output], table,
+                    rtol=RTOL, atol=1e-15, err_msg=f"{gate}->{output}",
+                )
+        assert set(reference.expected) == set(vectorized.expected)
+        for gate, row in reference.expected.items():
+            assert set(row) == set(vectorized.expected[gate]), gate
+            for output, width in row.items():
+                assert vectorized.expected[gate][output] == pytest.approx(
+                    width, rel=RTOL, abs=1e-15
+                ), (gate, output)
+
+
+class TestFullAnalysisDifferential:
+    def test_reports_agree(self, case):
+        __, analyzer, assignment = case
+        reference = analyzer.analyze(assignment, engine="reference")
+        arrays = analyzer.analyze(assignment, engine="array")
+        assert arrays.total == pytest.approx(reference.total, rel=RTOL)
+        ref_gates = reference.unreliability.per_gate
+        arr_gates = arrays.unreliability.per_gate
+        assert set(ref_gates) == set(arr_gates)
+        for name, entry in ref_gates.items():
+            got = arr_gates[name]
+            assert got.size == entry.size
+            assert got.generated_width_ps == pytest.approx(
+                entry.generated_width_ps, rel=RTOL, abs=1e-15
+            )
+            assert set(got.widths_by_output) == set(entry.widths_by_output)
+            assert got.contribution == pytest.approx(
+                entry.contribution, rel=RTOL, abs=1e-15
+            )
+
+    def test_missing_probabilities_fail_loudly(self, case):
+        """The dense structure must reject incomplete probability maps
+        (the scalar path raises KeyError) instead of zero-filling."""
+        circuit, analyzer, __unused = case
+        from repro.core.masking import masking_structure
+        from repro.errors import AnalysisError
+
+        some_fanin = next(circuit.gates()).fanins[0]
+        partial = dict(analyzer.probabilities)
+        partial.pop(some_fanin)
+        with pytest.raises(AnalysisError):
+            masking_structure(circuit, partial, analyzer.sensitized_paths)
+
+    def test_foreign_structure_rejected(self, case):
+        """A prebuilt masking structure from a different circuit cannot
+        silently drive the sweep."""
+        circuit, analyzer, assignment = case
+        from repro.errors import AnalysisError
+
+        other = iscas85_circuit("c17")
+        other_analyzer = AsertaAnalyzer(
+            other, AsertaConfig(n_vectors=100, seed=0)
+        )
+        elec = analyzer.electrical_view(assignment)
+        with pytest.raises(AnalysisError):
+            electrical_masking(
+                circuit,
+                elec,
+                analyzer.probabilities,
+                analyzer.sensitized_paths,
+                structure=other_analyzer.structure,
+            )
+
+    def test_engine_validation(self, case):
+        __, analyzer, __unused = case
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            analyzer.analyze(engine="quantum")
+
+
+def test_gateless_feedthrough_circuit_annotates():
+    """Regression: a valid gate-less circuit (input marked as output)
+    must annotate through the default vectorized path exactly like the
+    scalar one instead of crashing on an empty table stack."""
+    from repro.circuit.netlist import Circuit
+    from repro.tech.electrical_view import CircuitElectrical
+
+    circuit = Circuit("feedthrough")
+    circuit.add_input("a")
+    circuit.mark_output("a")
+    circuit.validate()
+    vectorized = CircuitElectrical(circuit, ParameterAssignment())
+    scalar = CircuitElectrical(
+        circuit, ParameterAssignment(), vectorized=False
+    )
+    assert vectorized.load_ff == scalar.load_ff
+    assert vectorized.output_ramp_ps == scalar.output_ramp_ps
+    assert vectorized.delay_ps == scalar.delay_ps == {}
+
+
+def test_integer_valued_cell_params_do_not_truncate():
+    """Regression: an int-valued default (CellParams(size=2)) must not
+    make the array path's parameter vectors integer-typed and truncate
+    float overrides (size=1.5 used to become 1)."""
+    analyzer = AsertaAnalyzer(
+        iscas85_circuit("c17"), AsertaConfig(n_vectors=300, seed=1)
+    )
+    assignment = ParameterAssignment(
+        default=CellParams(size=2),
+        overrides={"22": CellParams(size=1.5)},
+    )
+    reference = analyzer.analyze(assignment, engine="reference")
+    arrays = analyzer.analyze(assignment, engine="array")
+    assert arrays.unreliability.per_gate["22"].size == 1.5
+    assert arrays.total == pytest.approx(reference.total, rel=RTOL)
+
+
+def test_charge_override_agrees_on_c432():
+    """The campaign axes (charge + sample-width overrides) agree across
+    engines on a real benchmark circuit."""
+    analyzer = AsertaAnalyzer(
+        iscas85_circuit("c432"), AsertaConfig(n_vectors=500, seed=4)
+    )
+    for charge in (4.0, 16.0, 48.0):
+        reference = analyzer.analyze(
+            charge_fc=charge, n_sample_widths=6, engine="reference"
+        )
+        arrays = analyzer.analyze(charge_fc=charge, n_sample_widths=6)
+        assert arrays.total == pytest.approx(reference.total, rel=RTOL)

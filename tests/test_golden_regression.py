@@ -1,0 +1,87 @@
+"""Golden-value regression: the vectorized core must reproduce the seed.
+
+``tests/golden/*.json`` was recorded from the original dict-based
+implementation (the pre-vectorization seed) at fixed configurations:
+per-gate ``U_i`` contributions, per-output expected widths, circuit
+totals and environment-scaled FIT rates.  The array path must agree to
+1e-9 relative error — anything looser means the rewrite changed the
+mathematics, not just the execution strategy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.environments import AVIONICS, LEO_SPACE, SEA_LEVEL
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_CIRCUITS = ("c17", "c432")
+ENVIRONMENTS = {env.name: env for env in (SEA_LEVEL, AVIONICS, LEO_SPACE)}
+#: Maximum relative error against the recorded seed outputs.
+RTOL = 1e-9
+
+
+def _load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module", params=GOLDEN_CIRCUITS)
+def golden_case(request):
+    payload = _load(request.param)
+    config = AsertaConfig(**payload["config"])
+    analyzer = AsertaAnalyzer(iscas85_circuit(request.param), config)
+    return payload, analyzer.analyze()
+
+
+class TestGoldenRegression:
+    def test_total_matches_seed(self, golden_case):
+        payload, report = golden_case
+        assert report.total == pytest.approx(payload["total"], rel=RTOL)
+
+    def test_sample_widths_match_seed(self, golden_case):
+        payload, report = golden_case
+        recorded = payload["sample_widths_ps"]
+        assert len(recorded) == len(report.masking.sample_widths)
+        for want, got in zip(recorded, report.masking.sample_widths):
+            assert got == pytest.approx(want, rel=RTOL)
+
+    def test_per_gate_contributions_match_seed(self, golden_case):
+        payload, report = golden_case
+        per_gate = report.unreliability.per_gate
+        assert set(per_gate) == set(payload["per_gate"])
+        for name, recorded in payload["per_gate"].items():
+            entry = per_gate[name]
+            assert entry.size == pytest.approx(recorded["size"], rel=RTOL)
+            assert entry.generated_width_ps == pytest.approx(
+                recorded["generated_width_ps"], rel=RTOL
+            )
+            assert entry.contribution == pytest.approx(
+                recorded["contribution"], rel=RTOL, abs=1e-12
+            )
+
+    def test_per_output_widths_match_seed(self, golden_case):
+        payload, report = golden_case
+        for name, recorded in payload["per_gate"].items():
+            got = report.unreliability.per_gate[name].widths_by_output
+            assert set(got) == set(recorded["widths_by_output"])
+            for output, width in recorded["widths_by_output"].items():
+                assert got[output] == pytest.approx(width, rel=RTOL, abs=1e-12)
+
+    def test_fit_rates_match_seed(self, golden_case):
+        payload, report = golden_case
+        for env_name, recorded_fit in payload["fit"].items():
+            rates = ENVIRONMENTS[env_name].rates(report.total)
+            assert rates.fit == pytest.approx(recorded_fit, rel=RTOL)
+
+
+def test_golden_fixtures_are_complete():
+    for name in GOLDEN_CIRCUITS:
+        payload = _load(name)
+        assert payload["circuit"] == name
+        assert payload["per_gate"], name
+        assert set(payload["fit"]) == set(ENVIRONMENTS)
