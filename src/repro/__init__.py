@@ -26,6 +26,10 @@ Campaigns:
     :class:`~repro.campaign.store.ResultStore`,
     :class:`~repro.campaign.environments.Environment`
     (presets ``SEA_LEVEL``, ``AVIONICS``, ``LEO_SPACE``)
+Engine:
+    :class:`~repro.engine.engine.AnalysisEngine`,
+    :class:`~repro.engine.cache.ArtifactCache`
+    (batched structural simulation + content-addressed artifact cache)
 Reference simulation:
     :class:`~repro.spice.transient.TransientSimulator`
 """
@@ -67,6 +71,12 @@ from repro.core import (
     size_for_speed,
 )
 from repro.core.cost import CostWeights
+from repro.engine import (
+    AnalysisEngine,
+    ArtifactCache,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.tech import (
     CellLibrary,
     CellParams,
@@ -100,6 +110,10 @@ __all__ = [
     "CircuitElectrical",
     "ParameterAssignment",
     "TechnologyTables",
+    "AnalysisEngine",
+    "ArtifactCache",
+    "get_default_engine",
+    "set_default_engine",
     "AVIONICS",
     "ENVIRONMENTS",
     "LEO_SPACE",

@@ -34,7 +34,9 @@ from repro.campaign.store import ResultStore, ScenarioResult
 from repro.campaign.summarize import (
     AssignmentRanking,
     CampaignSummary,
+    format_observability_table,
     format_runtime_accounting,
+    observability_rows,
     summarize,
 )
 
@@ -58,6 +60,8 @@ __all__ = [
     "clear_analyzer_cache",
     "environment",
     "fit_per_mb",
+    "format_observability_table",
     "format_runtime_accounting",
+    "observability_rows",
     "summarize",
 ]

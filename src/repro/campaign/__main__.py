@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", metavar="PATH", default=None,
         help="JSONL result store; completed scenarios are skipped on re-runs",
     )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk compiled-artifact cache (P_ij matrices, LUT "
+        "tensors); re-runs and other campaigns sharing the directory "
+        "skip the structural fault simulation",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--serial", action="store_true", help="force single-process execution"
@@ -100,6 +106,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             n_vectors=args.n_vectors,
             seed=args.seed,
             sample_width_counts=tuple(args.sample_widths),
+            cache_dir=args.cache_dir,
         )
         store = ResultStore(args.store) if args.store else ResultStore()
         runner = CampaignRunner(spec, store=store, max_workers=args.workers)

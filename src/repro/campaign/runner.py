@@ -34,6 +34,11 @@ from repro.campaign.spec import CampaignSpec, ScenarioKey
 from repro.campaign.store import ResultStore, ScenarioResult
 from repro.circuit.iscas85 import iscas85_circuit
 from repro.core.aserta import AsertaAnalyzer, AsertaConfig
+from repro.engine.engine import (
+    AnalysisEngine,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.errors import CampaignError
 from repro.tech.library import ParameterAssignment
 
@@ -42,29 +47,61 @@ from repro.tech.library import ParameterAssignment
 WorkItem = tuple[ScenarioKey, ParameterAssignment, Environment]
 
 #: Per-process analyzer cache, keyed by ``ScenarioKey.structural_group()``
-#: (the one place that axis list is defined).  Lives at module scope so
-#: ProcessPoolExecutor workers reuse analyzers across batches without any
-#: coordination.
+#: plus the cache directory (the one place that axis list is defined).
+#: Lives at module scope so ProcessPoolExecutor workers reuse analyzers
+#: across batches without any coordination.
 _ANALYZER_CACHE: dict[tuple, AsertaAnalyzer] = {}
+
+#: Per-process engine handles, one per cache directory.  Workers build
+#: the handle lazily on first use, so every batch a worker is handed
+#: shares one compiled-artifact cache (and, with a ``cache_dir``, the
+#: same on-disk store as every other worker and every later run).
+_ENGINE_HANDLES: dict[str, AnalysisEngine] = {}
 
 
 def clear_analyzer_cache() -> None:
-    """Drop this process's analyzer cache.
+    """Drop this process's analyzer, engine and artifact caches.
 
-    Forked worker processes inherit the parent's cache, so a warmed
+    Forked worker processes inherit the parent's caches, so a warmed
     parent gives workers the structural pass for free; benchmarks call
     this to measure honestly-cold runs, and long-lived services can call
-    it to bound memory.
+    it to bound memory.  (On-disk artifact stores are left in place —
+    they are the *deliberately* persistent tier.)
     """
     _ANALYZER_CACHE.clear()
+    _ENGINE_HANDLES.clear()
+    set_default_engine(None)
 
 
-def _analyzer_for(group: tuple, config: AsertaConfig) -> AsertaAnalyzer:
-    analyzer = _ANALYZER_CACHE.get(group)
+def _engine_for(cache_dir: str | None) -> AnalysisEngine:
+    """This process's engine handle for one cache directory."""
+    if cache_dir is None:
+        return get_default_engine()
+    engine = _ENGINE_HANDLES.get(cache_dir)
+    if engine is None:
+        engine = AnalysisEngine(cache_dir=cache_dir)
+        _ENGINE_HANDLES[cache_dir] = engine
+    return engine
+
+
+def analyzer_for(
+    group: tuple, config: AsertaConfig, cache_dir: str | None = None
+) -> AsertaAnalyzer:
+    """This process's cached analyzer for one structural group.
+
+    Builds (and caches) on first use; campaign summaries and reports
+    share it so they ride whatever this process already paid for.
+    """
+    key = (group, cache_dir)
+    analyzer = _ANALYZER_CACHE.get(key)
     if analyzer is None:
         circuit_name = group[0]
-        analyzer = AsertaAnalyzer(iscas85_circuit(circuit_name), config)
-        _ANALYZER_CACHE[group] = analyzer
+        analyzer = AsertaAnalyzer(
+            iscas85_circuit(circuit_name),
+            config,
+            engine=_engine_for(cache_dir),
+        )
+        _ANALYZER_CACHE[key] = analyzer
     return analyzer
 
 
@@ -79,15 +116,18 @@ def _evaluate_batch(
     group: tuple,
     config: AsertaConfig,
     items: Sequence[WorkItem],
+    cache_dir: str | None = None,
 ) -> list[ScenarioResult]:
     """Evaluate one batch of scenarios sharing a structural group.
 
     Runs in a worker process under parallel execution and in the main
     process under serial execution — the results are identical because
     every analysis is fully determined by (circuit, config, charge,
-    assignment).
+    assignment).  ``cache_dir`` selects the worker's compiled-artifact
+    cache handle (shared across batches and, on disk, across workers
+    and runs).
     """
-    analyzer = _analyzer_for(group, config)
+    analyzer = analyzer_for(group, config, cache_dir)
     analysis_cache: dict[tuple, tuple[float, float]] = {}
     results: list[ScenarioResult] = []
     for key, assignment, env in items:
@@ -159,7 +199,7 @@ class CampaignRunner:
 
     def _batches(
         self, pending: Sequence[ScenarioKey], workers: int
-    ) -> list[tuple[tuple, AsertaConfig, list[WorkItem]]]:
+    ) -> list[tuple[tuple, AsertaConfig, list[WorkItem], str | None]]:
         """Group pending scenarios by structural group, then split the
         groups into at most ~``workers`` roughly even batches so a short
         group list still saturates the pool.
@@ -181,7 +221,7 @@ class CampaignRunner:
                 _analysis_unit(key), []
             ).append(item)
         per_group = max(1, workers // max(1, len(groups)))
-        batches: list[tuple[tuple, AsertaConfig, list[WorkItem]]] = []
+        batches: list[tuple[tuple, AsertaConfig, list[WorkItem], str | None]] = []
         for group, units in groups.items():
             config = self.spec.aserta_config()
             unit_lists = list(units.values())
@@ -193,7 +233,7 @@ class CampaignRunner:
                     for unit_items in unit_lists[start : start + size]
                     for item in unit_items
                 ]
-                batches.append((group, config, chunk))
+                batches.append((group, config, chunk, self.spec.cache_dir))
         return batches
 
     def run(self, parallel: bool | None = None) -> CampaignOutcome:
@@ -224,8 +264,10 @@ class CampaignRunner:
                 mode = "parallel"
         if mode == "serial":
             workers = 1
-            for group, config, items in batches:
-                computed.extend(_evaluate_batch(group, config, items))
+            for group, config, items, cache_dir in batches:
+                computed.extend(
+                    _evaluate_batch(group, config, items, cache_dir)
+                )
 
         for result in computed:
             self.store.add(result)
@@ -251,7 +293,7 @@ class CampaignRunner:
 
     @staticmethod
     def _run_parallel(
-        batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem]]],
+        batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem], str | None]],
         workers: int,
     ) -> list[ScenarioResult] | None:
         """Dispatch the batches to a process pool.
@@ -280,8 +322,10 @@ class CampaignRunner:
             with pool:
                 try:
                     futures = [
-                        pool.submit(_evaluate_batch, group, config, items)
-                        for group, config, items in batches
+                        pool.submit(
+                            _evaluate_batch, group, config, items, cache_dir
+                        )
+                        for group, config, items, cache_dir in batches
                     ]
                 except OSError:
                     return None

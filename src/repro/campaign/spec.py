@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -150,8 +151,17 @@ class CampaignSpec:
     input_probability: float = 0.5
     #: Route electrical queries through the interpolated look-up tables.
     use_tables: bool = True
+    #: Directory for the engine's on-disk compiled-artifact cache
+    #: (``P_ij`` matrices, stacked LUT tensors).  ``None`` keeps the
+    #: cache in-memory per worker.  Execution configuration only: it
+    #: never enters scenario digests, so pointing an existing campaign
+    #: at a cache directory cannot invalidate (or be confused with) its
+    #: result store.
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
         object.__setattr__(self, "circuits", tuple(self.circuits))
         object.__setattr__(
             self, "charges_fc", tuple(float(q) for q in self.charges_fc)

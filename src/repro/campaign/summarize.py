@@ -12,10 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.analysis.reports import format_table
-from repro.campaign.runner import CampaignOutcome
+from repro.campaign.runner import CampaignOutcome, analyzer_for
+from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ScenarioResult
 from repro.errors import CampaignError
+from repro.logicsim.sensitization import observability_matrix
 
 
 @dataclass(frozen=True)
@@ -120,6 +124,54 @@ def summarize(
     if isinstance(results, CampaignOutcome):
         results = results.results
     return CampaignSummary(results)
+
+
+def observability_rows(
+    spec: CampaignSpec, circuit_name: str, top: int = 10
+) -> list[tuple[str, int, float, int]]:
+    """The ``top`` most-observable gates of one campaign circuit.
+
+    Per-gate observability is the shared dense summary
+    ``min(1, sum_j P_ij)``
+    (:func:`repro.logicsim.sensitization.observability_matrix` over the
+    analyzer's cached ``P_ij`` matrix) — the same implementation behind
+    :func:`repro.logicsim.sensitization.observability`, so campaign
+    reports can never drift from the analyzer's numbers.  The analyzer
+    comes from the runner's per-process cache: free after a serial run
+    in this process; after a parallel run (whose analyzers live in the
+    worker processes) or on a fresh process it is built here — served
+    from the artifact cache when ``spec.cache_dir`` points at a warmed
+    store, a full structural pass otherwise.
+    """
+    if circuit_name not in spec.circuits:
+        raise CampaignError(f"circuit {circuit_name!r} not in this campaign")
+    key = spec.scenarios()[0].structural_group()
+    group = (circuit_name,) + key[1:]
+    analyzer = analyzer_for(group, spec.aserta_config(), spec.cache_dir)
+    idx = analyzer.indexed
+    totals = observability_matrix(analyzer.p_matrix)
+    gate_rows = idx.gate_rows
+    ranked = gate_rows[np.argsort(-totals[gate_rows], kind="stable")][:top]
+    return [
+        (
+            idx.order[row],
+            int(idx.level[row]),
+            float(totals[row]),
+            int(np.count_nonzero(analyzer.p_matrix[row])),
+        )
+        for row in ranked
+    ]
+
+
+def format_observability_table(
+    spec: CampaignSpec, circuit_name: str, top: int = 10
+) -> str:
+    """Most-observable gates of one circuit, as a report table."""
+    return format_table(
+        ("gate", "level", "observability", "outputs reached"),
+        observability_rows(spec, circuit_name, top=top),
+        title=f"most observable gates — {circuit_name}",
+    )
 
 
 def format_runtime_accounting(outcome: CampaignOutcome) -> str:

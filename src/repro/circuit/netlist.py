@@ -7,6 +7,8 @@ levels, fanout maps, cones) lazily, invalidating caches on mutation.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
@@ -248,6 +250,33 @@ class Circuit:
         """Primary outputs structurally reachable from signal ``name``."""
         cone = self.fanout_cone(name)
         return tuple(out for out in self._outputs if out in cone)
+
+    def content_digest(self) -> str:
+        """Stable SHA-256 content hash of the netlist structure.
+
+        Two circuits get the same digest exactly when they are
+        structurally identical: same primary inputs and outputs (in
+        declaration order) and same gates (name, type, fan-ins).  The
+        circuit *name* is deliberately excluded — renaming a netlist
+        does not change any analysis result — so content-addressed
+        caches (:mod:`repro.engine.cache`) can share artifacts across
+        differently-named copies.  Cached like every other derived
+        structure (invalidated on mutation).
+        """
+        cached = self._cache.get("content_digest")
+        if cached is None:
+            payload = {
+                "inputs": self._inputs,
+                "outputs": self._outputs,
+                "gates": [
+                    [gate.name, gate.gtype.value, list(gate.fanins)]
+                    for gate in self._gates.values()
+                ],
+            }
+            encoded = json.dumps(payload, separators=(",", ":"))
+            cached = hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+            self._cache["content_digest"] = cached
+        return cached  # type: ignore[return-value]
 
     def indexed(self) -> "IndexedCircuit":
         """The dense integer/CSR view of this circuit, cached like every

@@ -4,7 +4,10 @@ The analyzer is split along the paper's own seams:
 
 * the *structural* ingredients — static probabilities ``p_i`` and
   sensitized-path probabilities ``P_ij`` — depend only on the netlist
-  and are computed once per circuit (``AsertaAnalyzer.__init__``);
+  and are resolved once per circuit (``AsertaAnalyzer.__init__``),
+  through the :class:`~repro.engine.engine.AnalysisEngine`: the batched
+  fault-site simulator on a cold cache, a pure artifact lookup on a
+  warm one;
 * the *electrical* ingredients — generated glitch widths, delays,
   the expected-width propagation — depend on the parameter assignment
   and are recomputed by every :meth:`AsertaAnalyzer.analyze` call,
@@ -25,16 +28,21 @@ from repro.core.electrical_masking import (
     electrical_masking,
     electrical_masking_reference,
 )
-from repro.core.masking import masking_structure
+from repro.core.masking import DEFAULT_SHARE_EPSILON
 from repro.core.unreliability import (
     UnreliabilityReport,
     build_report,
     build_report_from_arrays,
 )
+from repro.engine.engine import (
+    STRUCTURAL_ENGINES,
+    AnalysisEngine,
+    get_default_engine,
+)
+from repro.engine.structural import sparse_paths_from_matrix
 from repro.errors import AnalysisError
 from repro.logicsim.bitsim import BitParallelSimulator
 from repro.logicsim.probability import static_probabilities
-from repro.logicsim.sensitization import sensitization_probabilities
 from repro.tech import constants as k
 from repro.tech.electrical_view import CircuitElectrical, cell_param_arrays
 from repro.tech.library import ParameterAssignment
@@ -59,6 +67,13 @@ class AsertaConfig:
     #: Route electrical queries through the interpolated look-up tables
     #: (the ASERTA architecture); False evaluates the continuous model.
     use_tables: bool = True
+    #: Structural P_ij estimator: ``"batched"`` (the fault-site-batched
+    #: level sweep) or ``"event"`` (the original per-site event-driven
+    #: walk, kept as an escape hatch).  Bit-identical by contract.
+    structural_engine: str = "batched"
+    #: Equation-2 denominator cutoff below which a deep-chain route is
+    #: dropped (see :data:`repro.core.masking.DEFAULT_SHARE_EPSILON`).
+    share_epsilon: float = DEFAULT_SHARE_EPSILON
 
     def __post_init__(self) -> None:
         if self.n_vectors < 1:
@@ -72,6 +87,15 @@ class AsertaConfig:
         if not 0.0 <= self.input_probability <= 1.0:
             raise AnalysisError(
                 f"input_probability must be in [0, 1], got {self.input_probability}"
+            )
+        if self.structural_engine not in STRUCTURAL_ENGINES:
+            raise AnalysisError(
+                f"structural_engine must be one of {STRUCTURAL_ENGINES}, "
+                f"got {self.structural_engine!r}"
+            )
+        if not self.share_epsilon > 0.0:
+            raise AnalysisError(
+                f"share_epsilon must be > 0, got {self.share_epsilon}"
             )
 
 
@@ -92,9 +116,15 @@ class AsertaReport:
 class AsertaAnalyzer:
     """Reusable analyzer bound to one circuit.
 
-    Construction performs the structure-only work (10 000-vector
-    sensitization simulation, static probabilities); each
-    :meth:`analyze` evaluates one parameter assignment.
+    Construction resolves the structure-only work (10 000-vector
+    sensitization simulation, static probabilities, Equation-2 shares)
+    through the analysis ``engine`` — simulated once, then served from
+    the compiled-artifact cache for every later analyzer of the same
+    circuit and protocol; each :meth:`analyze` evaluates one parameter
+    assignment.
+
+    ``share_epsilon`` overrides ``config.share_epsilon`` (the Equation-2
+    deep-chain route-dropping cutoff) without rebuilding a config.
     """
 
     def __init__(
@@ -102,28 +132,73 @@ class AsertaAnalyzer:
         circuit: Circuit,
         config: AsertaConfig | None = None,
         tables: TechnologyTables | None = None,
+        engine: AnalysisEngine | None = None,
+        share_epsilon: float | None = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
         self.config = config if config is not None else AsertaConfig()
         self.tables = tables if tables is not None else default_tables()
+        self.engine = engine if engine is not None else get_default_engine()
+        if share_epsilon is None:
+            self.share_epsilon = self.config.share_epsilon
+        else:
+            if not share_epsilon > 0.0:
+                raise AnalysisError(
+                    f"share_epsilon must be > 0, got {share_epsilon}"
+                )
+            self.share_epsilon = float(share_epsilon)
         self.simulator = BitParallelSimulator(circuit)
         self.probabilities = static_probabilities(
             circuit, self.config.input_probability
         )
-        self.sensitized_paths = sensitization_probabilities(
-            circuit,
-            n_vectors=self.config.n_vectors,
-            seed=self.config.seed,
-            simulator=self.simulator,
-        )
         #: Dense integer view shared by every array pass.
         self.indexed = circuit.indexed()
-        #: Assignment-independent Equation-2 structure (dense shares),
-        #: built once and reused by every :meth:`analyze` call.
-        self.structure = masking_structure(
-            circuit, self.probabilities, self.sensitized_paths, self.indexed
+        if self.config.use_tables:
+            self.engine.warm_stacked_tables(
+                self.tables, self.indexed.group_pairs
+            )
+        #: Dense ``(V, O)`` sensitized-path probabilities — simulated by
+        #: the configured structural engine or served from the artifact
+        #: cache (bit-identical either way).
+        self.p_matrix = self.engine.p_matrix(
+            circuit,
+            self.config.n_vectors,
+            self.config.seed,
+            structural=self.config.structural_engine,
+            simulator=self.simulator,
         )
+        #: Assignment-independent Equation-2 structure (dense shares),
+        #: resolved once and reused by every :meth:`analyze` call.
+        self.structure = self.engine.masking_structure(
+            circuit,
+            self.probabilities,
+            self.config.n_vectors,
+            self.config.seed,
+            epsilon=self.share_epsilon,
+        )
+        self._sensitized_paths: dict[str, dict[str, float]] | None = None
+
+    @property
+    def sensitized_paths(self) -> dict[str, dict[str, float]]:
+        """Sparse ``{gate: {output: P_ij}}`` view of :attr:`p_matrix`.
+
+        Materialized lazily: the array analysis path never touches it,
+        so a warm analyzer pays nothing for the dict view unless the
+        reference engine or a dict-reading caller asks for it.
+        """
+        if self._sensitized_paths is None:
+            self._sensitized_paths = sparse_paths_from_matrix(
+                self.indexed, self.p_matrix
+            )
+        return self._sensitized_paths
+
+    def observability(self) -> dict[str, float]:
+        """Per-gate ``min(1, sum_j P_ij)`` via the shared dense summary
+        (:func:`repro.logicsim.sensitization.observability_matrix`)."""
+        from repro.logicsim.sensitization import observability_matrix
+
+        return self.indexed.scatter(observability_matrix(self.p_matrix))
 
     def electrical_view(
         self,
@@ -188,9 +263,7 @@ class AsertaAnalyzer:
             masking = electrical_masking(
                 self.circuit,
                 elec,
-                self.probabilities,
-                self.sensitized_paths,
-                sample_widths,
+                sample_widths=sample_widths,
                 structure=self.structure,
             )
             assert masking.arrays is not None
@@ -211,6 +284,7 @@ class AsertaAnalyzer:
                 self.probabilities,
                 self.sensitized_paths,
                 sample_widths,
+                epsilon=self.share_epsilon,
             )
             sizes = {
                 gate.name: assignment[gate.name].size

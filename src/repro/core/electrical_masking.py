@@ -45,6 +45,7 @@ import numpy as np
 from repro.circuit.indexed import IndexedCircuit
 from repro.circuit.netlist import Circuit
 from repro.core.masking import (
+    DEFAULT_SHARE_EPSILON,
     MaskingStructure,
     masking_structure,
     propagation_shares,
@@ -166,6 +167,21 @@ def default_sample_widths(
     """
     if n_samples < 2:
         raise AnalysisError(f"need at least 2 sample widths, got {n_samples}")
+    arrays = elec.native_arrays()
+    if arrays is not None:
+        # Array path: the same min/max reductions over the dense rows,
+        # without materializing the name-keyed dict views.  Gate rows
+        # only, exactly the population the dicts carry.
+        rows = elec.circuit.indexed().gate_rows
+        delay_rows = arrays["delay_ps"][rows]
+        delays_arr = delay_rows[delay_rows > 0.0]
+        if delays_arr.size == 0:
+            raise AnalysisError("circuit has no gates with positive delay")
+        width_rows = arrays["generated_width_ps"][rows]
+        low = max(float(delays_arr.min()) * 0.5, 1e-3)
+        widest = float(width_rows.max()) if width_rows.size else 0.0
+        high = max(2.2 * float(delays_arr.max()), 1.1 * widest, low * 4.0)
+        return np.geomspace(low, high, n_samples)
     delays = [d for d in elec.delay_ps.values() if d > 0.0]
     widths = [w for w in elec.generated_width_ps.values()]
     if not delays:
@@ -185,10 +201,11 @@ def _check_samples(sample_widths: np.ndarray) -> np.ndarray:
 def electrical_masking(
     circuit: Circuit,
     elec: CircuitElectrical,
-    probabilities: Mapping[str, float],
-    sensitized_paths: Mapping[str, Mapping[str, float]],
+    probabilities: Mapping[str, float] | None = None,
+    sensitized_paths: Mapping[str, Mapping[str, float]] | None = None,
     sample_widths: np.ndarray | None = None,
     structure: MaskingStructure | None = None,
+    epsilon: float = DEFAULT_SHARE_EPSILON,
 ) -> ElectricalMaskingResult:
     """Run the Section-3.2 pass over the array core.
 
@@ -196,17 +213,32 @@ def electrical_masking(
     pass a prebuilt one (as :class:`~repro.core.aserta.AsertaAnalyzer`
     does) to amortize it over repeated analyses of one circuit.  A
     supplied structure *replaces* ``probabilities`` and
-    ``sensitized_paths`` — it must have been built from the same
-    estimates, or the shares reflect stale ``P_ij``; building it from a
-    different circuit entirely is rejected.
+    ``sensitized_paths`` (which may then be omitted) — it must have
+    been built from the same estimates, or the shares reflect stale
+    ``P_ij``; a structure built from a different netlist is rejected
+    (different live objects with identical content are accepted, which
+    is what lets the artifact cache serve structures across circuit
+    copies).  ``epsilon`` is the Equation-2 route-dropping cutoff, used
+    only when the structure is built here.
     """
     samples = (
         default_sample_widths(elec) if sample_widths is None
         else _check_samples(sample_widths)
     )
     if structure is None:
-        structure = masking_structure(circuit, probabilities, sensitized_paths)
-    elif structure.indexed.circuit is not circuit:
+        if probabilities is None or sensitized_paths is None:
+            raise AnalysisError(
+                "electrical_masking needs probabilities and "
+                "sensitized_paths when no structure is supplied"
+            )
+        structure = masking_structure(
+            circuit, probabilities, sensitized_paths, epsilon=epsilon
+        )
+    elif (
+        structure.indexed.circuit is not circuit
+        and structure.indexed.circuit.content_digest()
+        != circuit.content_digest()
+    ):
         raise AnalysisError(
             "masking structure was built for a different circuit "
             f"({structure.indexed.circuit.name!r} vs {circuit.name!r})"
@@ -273,6 +305,7 @@ def electrical_masking_reference(
     probabilities: Mapping[str, float],
     sensitized_paths: Mapping[str, Mapping[str, float]],
     sample_widths: np.ndarray | None = None,
+    epsilon: float = DEFAULT_SHARE_EPSILON,
 ) -> ElectricalMaskingResult:
     """The original per-gate dict walk (the seed implementation).
 
@@ -316,7 +349,8 @@ def electrical_masking_reference(
             if p_ij <= 0.0:
                 continue
             shares = propagation_shares(
-                circuit, probabilities, sensitized_paths, name, output_name
+                circuit, probabilities, sensitized_paths, name, output_name,
+                epsilon=epsilon,
             )
             if not shares:
                 continue

@@ -35,8 +35,21 @@ from repro.circuit.indexed import IndexedCircuit
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 
-#: Denominators smaller than this are treated as "no sensitizable route".
-_EPSILON = 1e-12
+#: Default cutoff below which an Equation-2 denominator is treated as
+#: "no sensitizable route".  On deep chains the product of
+#: sensitization probabilities underflows toward (and at double
+#: precision often exactly to) zero; dividing by it would blow the
+#: shares up to meaningless magnitudes, so routes whose denominator
+#: falls at or below the cutoff are dropped instead (they can only
+#: *lose* expected width — the Lemma-1 upper bound still holds).
+#: User-settable per analysis via ``AsertaAnalyzer(share_epsilon=...)``
+#: / ``AsertaConfig.share_epsilon``: raise it to prune weakly-routed
+#: edges aggressively, lower it to keep every numerically-representable
+#: route at the cost of noisier shares.
+DEFAULT_SHARE_EPSILON = 1e-12
+
+#: Backwards-compatible alias (the original private name).
+_EPSILON = DEFAULT_SHARE_EPSILON
 
 
 def sensitization_to_input(
@@ -72,11 +85,14 @@ def propagation_shares(
     sensitized_paths: Mapping[str, Mapping[str, float]],
     gate_name: str,
     output_name: str,
+    epsilon: float = DEFAULT_SHARE_EPSILON,
 ) -> dict[str, float]:
     """``pi_isj`` for every successor ``s`` of ``gate_name`` (Equation 2).
 
     Returns an empty mapping when the gate cannot reach the output
-    (``P_ij = 0``) or no successor offers a sensitizable route.
+    (``P_ij = 0``) or no successor offers a sensitizable route (the
+    denominator falls below ``epsilon``, see
+    :data:`DEFAULT_SHARE_EPSILON`).
     """
     p_ij = sensitized_paths.get(gate_name, {}).get(output_name, 0.0)
     if p_ij <= 0.0:
@@ -91,7 +107,7 @@ def propagation_shares(
         if weight > 0.0:
             weights[successor] = s_is
             denominator += weight
-    if denominator <= _EPSILON:
+    if denominator <= epsilon:
         return {}
     return {
         successor: s_is * p_ij / denominator
@@ -174,12 +190,34 @@ def edge_sensitizations(
 def masking_structure(
     circuit: Circuit,
     probabilities: Mapping[str, float],
-    sensitized_paths: Mapping[str, Mapping[str, float]],
+    sensitized_paths: Mapping[str, Mapping[str, float]] | None = None,
     indexed: IndexedCircuit | None = None,
+    p_matrix: np.ndarray | None = None,
+    epsilon: float = DEFAULT_SHARE_EPSILON,
 ) -> MaskingStructure:
-    """Build the dense Equation-2 structure for one circuit."""
+    """Build the dense Equation-2 structure for one circuit.
+
+    ``P_ij`` comes either sparse (``sensitized_paths``, densified here)
+    or already dense (``p_matrix`` over ``indexed`` row/column order, as
+    the batched structural engine produces it) — exactly one of the two
+    must be given.  ``epsilon`` is the route-dropping cutoff
+    (:data:`DEFAULT_SHARE_EPSILON`).
+    """
     idx = circuit.indexed() if indexed is None else indexed
-    p = idx.output_matrix(sensitized_paths)
+    if (sensitized_paths is None) == (p_matrix is None):
+        raise AnalysisError(
+            "pass exactly one of sensitized_paths or p_matrix"
+        )
+    if p_matrix is not None:
+        p = np.asarray(p_matrix, dtype=np.float64)
+        if p.shape != (idx.n_signals, idx.n_outputs):
+            raise AnalysisError(
+                f"p_matrix shape {p.shape} does not match "
+                f"({idx.n_signals}, {idx.n_outputs})"
+            )
+    else:
+        assert sensitized_paths is not None
+        p = idx.output_matrix(sensitized_paths)
     edge_s = edge_sensitizations(circuit, probabilities, idx)
 
     # denom[i, j] = sum over successors s of S_is * P_sj (zero-weight
@@ -192,7 +230,7 @@ def masking_structure(
     # The scalar path drops successors with no sensitizable route to j
     # (S_is * P_sj == 0) and whole rows whose denominator underflows.
     shares = np.where(p[idx.edge_dst] > 0.0, shares, 0.0)
-    shares = np.where(denom[idx.edge_src] > _EPSILON, shares, 0.0)
+    shares = np.where(denom[idx.edge_src] > epsilon, shares, 0.0)
 
     internal = ~idx.is_input & ~idx.is_output
     batches: list[np.ndarray] = []
@@ -215,6 +253,7 @@ def verify_share_identity(
     sensitized_paths: Mapping[str, Mapping[str, float]],
     gate_name: str,
     output_name: str,
+    epsilon: float = DEFAULT_SHARE_EPSILON,
 ) -> tuple[float, float]:
     """Returns ``(sum_s pi_isj * P_sj, P_ij)`` — equal by construction.
 
@@ -223,7 +262,8 @@ def verify_share_identity(
     sum_k pi_ikj P_kj = P_ij").
     """
     shares = propagation_shares(
-        circuit, probabilities, sensitized_paths, gate_name, output_name
+        circuit, probabilities, sensitized_paths, gate_name, output_name,
+        epsilon=epsilon,
     )
     total = 0.0
     for successor, share in shares.items():

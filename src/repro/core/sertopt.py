@@ -31,6 +31,7 @@ from repro.core.cost import CostBreakdown, CostEvaluator, CostWeights
 from repro.core.delay_assignment import DelaySpace
 from repro.core.matching import MatchingEngine
 from repro.core.optimizers import OptimizeResult, run_optimizer
+from repro.engine.engine import AnalysisEngine
 from repro.errors import OptimizationError
 from repro.sta.timing import analyze_timing
 from repro.tech.electrical_view import CircuitElectrical
@@ -119,14 +120,23 @@ class Sertopt:
         config: SertoptConfig | None = None,
         tables: TechnologyTables | None = None,
         analyzer: AsertaAnalyzer | None = None,
+        engine: AnalysisEngine | None = None,
     ) -> None:
         self.circuit = circuit
         self.library = library if library is not None else CellLibrary.paper_library()
         self.config = config if config is not None else SertoptConfig()
+        # The engine is where the inner loop's structural reuse lives:
+        # P_ij and the Equation-2 shares are sizing-invariant, so every
+        # candidate assignment the optimizer scores shares the one
+        # cached structural pass — and an engine warmed by an earlier
+        # campaign or analyzer hands it over without any simulation.
         self.analyzer = (
             analyzer
             if analyzer is not None
-            else AsertaAnalyzer(circuit, config=self.config.aserta, tables=tables)
+            else AsertaAnalyzer(
+                circuit, config=self.config.aserta, tables=tables,
+                engine=engine,
+            )
         )
 
     def optimize(

@@ -1,0 +1,272 @@
+"""Batched fault-site simulation: the Section-3.1 structural pass.
+
+The seed estimator (:func:`repro.logicsim.sensitization.sensitization_probabilities`)
+walks one fault site at a time: flip gate ``i``'s packed values, push an
+event-driven overlay through its fanout cone, count output differences.
+That is one Python-level heap iteration *per touched gate per site* —
+the dominant per-circuit cost once the electrical pass was vectorized.
+
+This module replaces the walk with a **level-synchronized, fault-site-
+batched** simulator:
+
+* fault sites are processed in blocks of ``S`` sites; the faulty state
+  lives as one ``(S, V, W)`` ``uint64`` *delta* tensor (XOR against the
+  fault-free base simulation, 64 vectors per word);
+* gates are evaluated level by level through the
+  :class:`~repro.circuit.indexed.IndexedCircuit` CSR arrays, one NumPy
+  call per ``(level, gate-type/fan-in group)`` — every site in the
+  block advances together;
+* precomputed **reachability bitsets** (`CompiledStructuralCircuit`)
+  mask out gates no site in the block can influence, so regions outside
+  the union fanout cone cost nothing;
+* a site's own row stays pinned at "complemented" for its lane, exactly
+  like the event overlay pins the flipped source.
+
+Because both implementations perform exact zero-delay simulation of the
+*same* random vectors (same seed, same packing), the resulting ``P_ij``
+counts are **bit-identical** — asserted across every bundled circuit by
+``tests/test_engine_structural.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.gate import evaluate_words
+from repro.circuit.indexed import IndexedCircuit
+from repro.circuit.netlist import Circuit
+from repro.errors import SimulationError
+from repro.logicsim.bitsim import BitParallelSimulator
+from repro.logicsim.vectors import lane_mask, random_input_words
+
+#: Default ceiling on one block's delta tensor (bytes) — blocks shrink
+#: on large circuits so memory stays flat while throughput stays high.
+DEFAULT_MAX_BLOCK_BYTES = 1 << 27
+
+#: Hard cap on sites per block (beyond this, gather sizes stop helping).
+MAX_BLOCK_SITES = 256
+
+
+class CompiledStructuralCircuit:
+    """Assignment- and protocol-independent simulation schedule.
+
+    Everything here depends only on the netlist structure, so one
+    compiled instance serves every ``(n_vectors, seed)`` estimate of a
+    circuit and is a natural citizen of the content-addressed artifact
+    cache (keyed by :func:`repro.engine.artifacts.compiled_key`).
+    """
+
+    def __init__(self, indexed: IndexedCircuit) -> None:
+        idx = indexed
+        self.indexed = idx
+        n = idx.n_signals
+        self.word_count = (n + 63) // 64
+
+        #: Bit position of each row inside the packed site bitsets.
+        self.bit_word = np.arange(n, dtype=np.int64) >> 6
+        self.bit_mask = np.uint64(1) << (
+            np.arange(n, dtype=np.uint64) & np.uint64(63)
+        )
+
+        # reach[r] — packed set of source rows that can reach row r
+        # (fanin cone of r, own bit included).  One forward pass; each
+        # row ORs its fan-ins' bitsets.
+        reach = np.zeros((n, self.word_count), dtype=np.uint64)
+        for row in range(n):
+            fanins = idx.fanins_of(row)
+            if fanins.size:
+                np.bitwise_or.reduce(reach[fanins], axis=0, out=reach[row])
+            reach[row, self.bit_word[row]] |= self.bit_mask[row]
+        self.reach = reach
+
+        # Evaluation schedule: for each logic level >= 1, the gate rows
+        # grouped by (gate type, fan-in count) with their dense fan-in
+        # row matrices — the unit of one vectorized evaluate_words call.
+        schedule: list[tuple[int, list[tuple[int, np.ndarray, np.ndarray]]]] = []
+        gate_rows = idx.gate_rows
+        gate_levels = idx.level[gate_rows]
+        for level in np.unique(gate_levels):
+            at_level = gate_rows[gate_levels == level]
+            entries: list[tuple[int, np.ndarray, np.ndarray]] = []
+            for gid in np.unique(idx.group_id[at_level]):
+                rows = at_level[idx.group_id[at_level] == gid]
+                nfi = idx.group_pairs[gid][1]
+                fanin_matrix = idx.fanin_src[
+                    idx.fanin_ptr[rows][:, np.newaxis]
+                    + np.arange(nfi, dtype=np.int64)
+                ]
+                entries.append((int(gid), rows, fanin_matrix))
+            schedule.append((int(level), entries))
+        self.schedule = schedule
+
+    def block_bitmask(self, start: int, stop: int) -> np.ndarray:
+        """Packed bitset with the site rows ``[start, stop)`` set."""
+        mask = np.zeros(self.word_count, dtype=np.uint64)
+        np.bitwise_or.at(
+            mask, self.bit_word[start:stop], self.bit_mask[start:stop]
+        )
+        return mask
+
+    def candidates(self, start: int, stop: int) -> np.ndarray:
+        """Rows some site in ``[start, stop)`` can influence (bool ``(V,)``).
+
+        A site row is a candidate only if *another* site reaches it —
+        its own value is pinned to the complement, never re-evaluated.
+        """
+        touched = self.reach & self.block_bitmask(start, stop)
+        site_rows = np.arange(start, stop, dtype=np.int64)
+        touched[site_rows, self.bit_word[site_rows]] &= ~self.bit_mask[site_rows]
+        return touched.any(axis=1)
+
+
+def pick_block_sites(
+    n_signals: int, n_words: int, max_block_bytes: int = DEFAULT_MAX_BLOCK_BYTES
+) -> int:
+    """Sites per block so the delta tensor stays under the byte budget."""
+    per_site = max(1, n_signals * n_words * 8)
+    return int(max(1, min(MAX_BLOCK_SITES, max_block_bytes // per_site)))
+
+
+def structural_matrix_batched(
+    circuit: Circuit,
+    n_vectors: int = 10000,
+    seed: int = 0,
+    simulator: BitParallelSimulator | None = None,
+    compiled: CompiledStructuralCircuit | None = None,
+    block_sites: int | None = None,
+    max_block_bytes: int = DEFAULT_MAX_BLOCK_BYTES,
+) -> np.ndarray:
+    """Dense ``(V, O)`` estimate of ``P_ij`` by batched fault simulation.
+
+    Bit-identical to the event-driven estimator on the same
+    ``(n_vectors, seed)``: row order is the indexed circuit's
+    topological order, columns are primary outputs in declaration
+    order, and the guaranteed diagonal ``P_jj = 1`` is applied exactly
+    as the sparse estimator does.
+    """
+    if n_vectors < 1:
+        raise SimulationError(f"need at least one vector, got {n_vectors}")
+    sim = simulator if simulator is not None else BitParallelSimulator(circuit)
+    if sim.circuit is not circuit:
+        raise SimulationError("simulator was compiled for a different circuit")
+    idx = circuit.indexed()
+    if compiled is None:
+        compiled = CompiledStructuralCircuit(idx)
+    elif compiled.indexed is not idx:
+        raise SimulationError(
+            "compiled structural schedule belongs to a different circuit"
+        )
+
+    inputs = random_input_words(len(circuit.inputs), n_vectors, seed)
+    base = sim.simulate(inputs)
+    mask = lane_mask(n_vectors)
+    n = idx.n_signals
+    n_words = base.shape[1]
+    if block_sites is None:
+        block_sites = pick_block_sites(n, n_words, max_block_bytes)
+    if block_sites < 1:
+        raise SimulationError(f"block_sites must be >= 1, got {block_sites}")
+
+    counts = np.zeros((n, idx.n_outputs), dtype=np.int64)
+    levels = idx.level
+    for start in range(0, n, block_sites):
+        stop = min(start + block_sites, n)
+        site_rows = np.arange(start, stop, dtype=np.int64)
+        site_levels = levels[site_rows]
+        local = site_rows - start
+
+        # Delta against the fault-free base; each site's own row is
+        # pinned to "every valid lane complemented".
+        delta = np.zeros((stop - start, n, n_words), dtype=np.uint64)
+        delta[local, site_rows] = mask
+
+        candidate = compiled.candidates(start, stop)
+        min_level = int(site_levels.min())
+        for level, entries in compiled.schedule:
+            if level <= min_level:
+                continue
+            for __, rows, fanin_matrix in entries:
+                active = candidate[rows]
+                if not active.any():
+                    continue
+                rows_active = rows[active]
+                fanins = fanin_matrix[active]
+                gtype = idx.gtypes[rows_active[0]]
+                words = [
+                    base[fanins[:, t]] ^ delta[:, fanins[:, t]]
+                    for t in range(fanins.shape[1])
+                ]
+                faulty = evaluate_words(gtype, words)
+                delta[:, rows_active] = (faulty ^ base[rows_active]) & mask
+            # Sites whose row sits at this level were just re-evaluated
+            # under *other* faults; restore their own-lane pin.
+            pins = site_rows[site_levels == level]
+            if pins.size:
+                delta[pins - start, pins] = mask
+
+        counts[site_rows] = np.bitwise_count(
+            delta[:, idx.output_rows]
+        ).sum(axis=2)
+
+    p = counts / float(n_vectors)
+    p[idx.output_rows, idx.col_of_row[idx.output_rows]] = 1.0
+    return p
+
+
+def structural_matrix_event(
+    circuit: Circuit,
+    n_vectors: int = 10000,
+    seed: int = 0,
+    simulator: BitParallelSimulator | None = None,
+) -> np.ndarray:
+    """Dense ``(V, O)`` matrix from the event-driven seed estimator.
+
+    The escape hatch (``structural_engine="event"``) and the baseline
+    the batched engine is differential-tested and benchmarked against.
+    """
+    from repro.logicsim.sensitization import sensitization_probabilities
+
+    sparse = sensitization_probabilities(
+        circuit, n_vectors=n_vectors, seed=seed, simulator=simulator
+    )
+    return circuit.indexed().output_matrix(sparse)
+
+
+def structural_matrix(
+    circuit: Circuit,
+    n_vectors: int = 10000,
+    seed: int = 0,
+    engine: str = "batched",
+    simulator: BitParallelSimulator | None = None,
+    compiled: CompiledStructuralCircuit | None = None,
+) -> np.ndarray:
+    """Dispatch to one structural estimator by name."""
+    if engine == "batched":
+        return structural_matrix_batched(
+            circuit, n_vectors, seed, simulator=simulator, compiled=compiled
+        )
+    if engine == "event":
+        return structural_matrix_event(
+            circuit, n_vectors, seed, simulator=simulator
+        )
+    raise SimulationError(
+        f"structural engine must be 'batched' or 'event', got {engine!r}"
+    )
+
+
+def sparse_paths_from_matrix(
+    indexed: IndexedCircuit, p_matrix: np.ndarray
+) -> dict[str, dict[str, float]]:
+    """Sparse ``{gate: {output: P_ij}}`` view of a dense matrix.
+
+    The exact inverse of :meth:`IndexedCircuit.output_matrix` under the
+    estimator's sparsity rule (an entry exists iff it is non-zero; the
+    ``P_jj = 1`` diagonal is always non-zero), so round-tripping either
+    way is lossless.
+    """
+    outputs = indexed.circuit.outputs
+    result: dict[str, dict[str, float]] = {}
+    for row, name in enumerate(indexed.order):
+        cols = np.flatnonzero(p_matrix[row])
+        result[name] = {outputs[col]: float(p_matrix[row, col]) for col in cols}
+    return result

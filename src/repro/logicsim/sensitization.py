@@ -129,31 +129,63 @@ def sensitization_matrix(
     seed: int = 0,
     simulator: BitParallelSimulator | None = None,
     sensitized_paths: Mapping[str, Mapping[str, float]] | None = None,
+    engine: str = "batched",
 ) -> np.ndarray:
     """Dense ``(V, O)`` form of ``P_ij`` over ``circuit.indexed()``.
 
     Row order is the indexed circuit's topological order; columns are
     primary outputs in declaration order.  Pass ``sensitized_paths`` to
-    densify an existing estimate instead of re-simulating.  This is a
-    convenience wrapper over ``IndexedCircuit.output_matrix`` — the same
-    densification :func:`repro.core.masking.masking_structure` performs
-    internally — for callers that want the matrix without an analyzer.
+    densify an existing estimate instead of re-simulating; otherwise the
+    estimate is produced by the named structural engine — ``"batched"``
+    (:func:`repro.engine.structural.structural_matrix_batched`, the
+    fast default) or ``"event"`` (the per-site walk in this module) —
+    which are bit-identical by contract.  This is the thin compatibility
+    wrapper for callers that want the matrix without an analyzer.
     """
-    if sensitized_paths is None:
-        sensitized_paths = sensitization_probabilities(
-            circuit, n_vectors=n_vectors, seed=seed, simulator=simulator
-        )
-    return circuit.indexed().output_matrix(sensitized_paths)
+    if sensitized_paths is not None:
+        return circuit.indexed().output_matrix(sensitized_paths)
+    from repro.engine.structural import structural_matrix
+
+    return structural_matrix(
+        circuit, n_vectors=n_vectors, seed=seed, engine=engine,
+        simulator=simulator,
+    )
+
+
+def union_observability(row_sums: np.ndarray) -> np.ndarray:
+    """``min(1, sum_j P_ij)`` from per-gate row sums.
+
+    *The* single definition of the upper-bounded union summary — the
+    dense matrix view (:func:`observability_matrix`), the sparse-dict
+    view (:func:`observability`), analyzer reports and campaign
+    summaries all reduce through it, so they cannot drift.
+    """
+    return np.minimum(1.0, np.asarray(row_sums, dtype=np.float64))
+
+
+def observability_matrix(p_matrix: np.ndarray) -> np.ndarray:
+    """Per-row union observability over a dense ``(V, O)`` matrix."""
+    return union_observability(
+        np.asarray(p_matrix, dtype=np.float64).sum(axis=1)
+    )
 
 
 def observability(
     sensitization: Mapping[str, Mapping[str, float]],
 ) -> dict[str, float]:
-    """Per-gate probability of being observed at *some* output.
+    """Name-keyed union observability of a sparse estimate.
 
-    Upper-bounded union estimate ``min(1, sum_j P_ij)`` — a convenience
-    summary used in reports, not by the ASERTA algorithm itself.
+    A convenience summary used in reports, not by the ASERTA algorithm
+    itself.  O(nnz): the sparse rows are summed directly and clamped by
+    the shared reduction.
     """
+    totals = union_observability(
+        np.fromiter(
+            (sum(row.values()) for row in sensitization.values()),
+            dtype=np.float64,
+            count=len(sensitization),
+        )
+    )
     return {
-        gate: min(1.0, sum(row.values())) for gate, row in sensitization.items()
+        gate: float(totals[i]) for i, gate in enumerate(sensitization)
     }

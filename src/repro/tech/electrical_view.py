@@ -103,14 +103,11 @@ class CircuitElectrical:
             vectorized and use_tables
         )
 
-        self.load_ff: dict[str, float] = {}
-        self.input_ramp_ps: dict[str, float] = {}
-        self.output_ramp_ps: dict[str, float] = {}
-        self.delay_ps: dict[str, float] = {}
-        self.node_cap_ff: dict[str, float] = {}
-        self.generated_width_ps: dict[str, float] = {}
-        self.static_power_uw: dict[str, float] = {}
-        self.area_units: dict[str, float] = {}
+        #: Name-keyed views, materialized lazily by the property
+        #: accessors (the vectorized path never builds them unless a
+        #: dict-reading caller asks; the scalar path fills them as it
+        #: annotates).
+        self._views: dict[str, dict[str, float]] = {}
 
         #: Dense per-row arrays over ``circuit.indexed()`` (the array
         #: analysis path); populated by the vectorized annotation, built
@@ -121,6 +118,64 @@ class CircuitElectrical:
             self._annotate_arrays()
         else:
             self._annotate()
+
+    # ------------------------------------------------------------------
+    # Lazy name-keyed views
+    # ------------------------------------------------------------------
+    #
+    # Eight dict views used to be materialized eagerly on every
+    # construction — an ~8·V Python loop per analyze() call that the
+    # array analysis path never reads.  They are now built on first
+    # access from the dense arrays (the ElectricalMaskingResult
+    # pattern); the scalar reference path obtains the same dicts empty
+    # and fills them during annotation, so its attribute writes are
+    # unchanged in behaviour.
+
+    def _view(self, field: str, gates_only: bool) -> dict[str, float]:
+        view = self._views.get(field)
+        if view is None:
+            if self._arrays is not None and field in self._arrays:
+                idx = self.circuit.indexed()
+                values = self._arrays[field]
+                order = idx.order
+                rows = idx.gate_rows if gates_only else range(idx.n_signals)
+                view = {order[row]: float(values[row]) for row in rows}
+            else:
+                view = {}
+            self._views[field] = view
+        return view
+
+    @property
+    def load_ff(self) -> dict[str, float]:
+        return self._view("load_ff", gates_only=False)
+
+    @property
+    def input_ramp_ps(self) -> dict[str, float]:
+        return self._view("input_ramp_ps", gates_only=True)
+
+    @property
+    def output_ramp_ps(self) -> dict[str, float]:
+        return self._view("output_ramp_ps", gates_only=False)
+
+    @property
+    def delay_ps(self) -> dict[str, float]:
+        return self._view("delay_ps", gates_only=True)
+
+    @property
+    def node_cap_ff(self) -> dict[str, float]:
+        return self._view("node_cap_ff", gates_only=True)
+
+    @property
+    def generated_width_ps(self) -> dict[str, float]:
+        return self._view("generated_width_ps", gates_only=True)
+
+    @property
+    def static_power_uw(self) -> dict[str, float]:
+        return self._view("static_power_uw", gates_only=True)
+
+    @property
+    def area_units(self) -> dict[str, float]:
+        return self._view("area_units", gates_only=True)
 
     # ------------------------------------------------------------------
     # Scalar annotation (the reference path)
@@ -320,23 +375,19 @@ class CircuitElectrical:
             "vth": vth,
         }
 
-        # Materialize the dict views the rest of the library reads.
-        order = idx.order
-        gate_rows = idx.gate_rows
-        self.load_ff = {order[i]: float(load[i]) for i in range(n)}
-        self.output_ramp_ps = {order[i]: float(out_ramp[i]) for i in range(n)}
-        for i in gate_rows:
-            name = order[i]
-            self.input_ramp_ps[name] = float(ramp_in[i])
-            self.delay_ps[name] = float(delay[i])
-            self.node_cap_ff[name] = float(node_cap[i])
-            self.generated_width_ps[name] = float(width[i])
-            self.static_power_uw[name] = float(leak[i])
-            self.area_units[name] = float(area[i])
-
     # ------------------------------------------------------------------
     # Array access
     # ------------------------------------------------------------------
+
+    def native_arrays(self) -> dict[str, np.ndarray] | None:
+        """The dense arrays if already available, without building them.
+
+        Non-``None`` whenever the vectorized annotation ran (or a
+        caller already paid for :meth:`arrays`); consumers like
+        ``default_sample_widths`` use it to stay on the array path
+        without forcing a gather on the scalar reference path.
+        """
+        return self._arrays
 
     def arrays(self) -> dict[str, np.ndarray]:
         """Dense per-row views over ``circuit.indexed()``.
@@ -369,9 +420,13 @@ class CircuitElectrical:
 
     def total_area(self) -> float:
         """Total layout area in relative units."""
+        if self._arrays is not None and "area_units" in self._arrays:
+            return float(self._arrays["area_units"].sum())
         return sum(self.area_units.values())
 
     def total_static_power_uw(self) -> float:
+        if self._arrays is not None and "static_power_uw" in self._arrays:
+            return float(self._arrays["static_power_uw"].sum())
         return sum(self.static_power_uw.values())
 
     def static_energy_fj(self) -> float:

@@ -15,6 +15,15 @@ from repro.tech import constants as k
 from repro.tech import mosfet
 from repro.units import PS_PER_FF_V_PER_UA
 
+#: Version of the continuous gate model (these functions plus the
+#: underlying :mod:`repro.tech.mosfet` equations and constants).  The
+#: characterization tables are a pure function of (model version,
+#: sample grids), and the engine's content-addressed cache keys stacked
+#: LUT tensors by both — bump this whenever a change to the electrical
+#: equations alters any sampled value, or persistent cache directories
+#: would keep serving tensors computed with the old model.
+GATE_MODEL_VERSION = 1
+
 
 def drive_divisor(gtype: GateType, fanin: int) -> float:
     """How much the worst-case input weakens the gate's drive current.

@@ -116,6 +116,50 @@ class TechnologyTables:
             self._stack_cache[key] = stack
         return stack
 
+    def axes_digest(self) -> str:
+        """Stable content hash of the seven sample grids plus the gate
+        model version.
+
+        The table *values* are a pure function of
+        :data:`repro.tech.gate_electrical.GATE_MODEL_VERSION` and the
+        grids, so together they identify a tensor completely — this is
+        the fingerprint the engine's content-addressed artifact cache
+        keys stacked tensors by (an edited electrical model bumps the
+        version, so a persistent cache can never serve stale tensors).
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            [
+                ge.GATE_MODEL_VERSION,
+                list(self.sizes),
+                list(self.lengths_nm),
+                list(self.vdds),
+                list(self.vths),
+                list(self.loads_ff),
+                list(self.ramps_ps),
+                list(self.charges_fc),
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def adopt_stack(
+        self,
+        kind: str,
+        pairs: tuple[tuple[GateType, int], ...],
+        values: np.ndarray,
+    ) -> None:
+        """Install a precomputed stacked tensor (cache warm-up).
+
+        Used by :meth:`repro.engine.engine.AnalysisEngine.warm_stacked_tables`
+        to seed the per-instance stack cache from the artifact store so
+        a warm process never evaluates the characterization grids.  An
+        already-present stack is left untouched.
+        """
+        self._stack_cache.setdefault((kind, pairs), np.asarray(values))
+
     def _build_delay(self, gtype: GateType, fanin: int) -> GridTable:
         axes = self._cell_axes() + [("load", self.loads_ff), ("ramp", self.ramps_ps)]
         shape = tuple(len(grid) for __, grid in axes)
