@@ -59,6 +59,18 @@ def test_campaign_throughput(benchmark, scale, tmp_path):
     )
     par_wall = time.perf_counter() - par_started
     assert par.computed == spec.size()
+    # Per-worker analyzer reuse is the regression observable (wall-clock
+    # on a small grid measures pool startup, not the engine).  With one
+    # batch per structural group, every group must be built on exactly
+    # one worker — a pool-wide build total above n_groups would mean a
+    # group's structural pass ran twice.  (The batch-*ordering* guard —
+    # round-robin circuit interleaving so a worker's later chunks hit
+    # its warm analyzers — is asserted directly in
+    # tests/test_campaign.py::test_batches_interleave_groups.)
+    n_groups = len({key.structural_group() for key in spec.scenarios()})
+    if par.mode == "parallel":
+        builds = par.analyzer_builds_by_worker()
+        assert sum(builds.values()) == n_groups, (builds, n_groups)
 
     clear_analyzer_cache()
     cold = benchmark.pedantic(
@@ -69,6 +81,19 @@ def test_campaign_throughput(benchmark, scale, tmp_path):
         rounds=1,
     )
     assert cold.computed == spec.size() and cold.skipped == 0
+    # Serial reuse accounting is deterministic: one analyzer build per
+    # structural group, every further batch of the group a reuse.
+    serial_final = cold.batch_stats[-1]
+    assert serial_final["analyzer_builds"] == n_groups
+    assert serial_final["analyzer_reuses"] == len(cold.batch_stats) - n_groups
+
+    # The amortization threshold: this bench grid is far below
+    # PARALLEL_MIN_UNITS analysis units, so auto mode must pick serial
+    # instead of paying pool startup (the parallel-slower regression).
+    auto = CampaignRunner(spec, store=ResultStore(), max_workers=2).run(
+        parallel=None
+    )
+    assert auto.mode == "serial" and auto.computed == spec.size()
 
     warm_started = time.perf_counter()
     warm = CampaignRunner(spec, store=ResultStore(store_path)).run(parallel=False)
@@ -110,7 +135,14 @@ def test_campaign_throughput(benchmark, scale, tmp_path):
             "speedup_vs_serial_cold": cold.wall_s / par.wall_s
             if par.wall_s
             else None,
+            "analyzer_builds_by_worker": {
+                str(pid): builds
+                for pid, builds in par.analyzer_builds_by_worker().items()
+            },
         },
+        # Auto mode stays serial on this sub-threshold grid (the
+        # parallel-slower-than-serial regression fix).
+        "auto_mode": auto.mode,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 

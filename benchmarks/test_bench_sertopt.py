@@ -1,0 +1,118 @@
+"""SERTOPT benchmark — serial vs population-batched objective.
+
+Runs the full Section-4 ``Sertopt.optimize()`` flow on c432 at the
+paper-default :class:`SertoptConfig` (150 cost evaluations, 10 000
+sensitization vectors, the coordinate driver) twice over one shared
+analysis engine: once with the original one-candidate-at-a-time
+objective, once with the batched array pipeline.  The deterministic
+coordinate driver must visit identical points — the benchmark asserts
+``OptimizeResult.x``/``evaluations`` equality and per-evaluation cost
+agreement to 1e-9 relative — and the batched flow must be at least 3x
+faster end to end.  Emits ``BENCH_sertopt.json`` for the CI benchmark
+artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuit.iscas85 import iscas85_circuit
+from repro.core.sertopt import Sertopt, SertoptConfig
+from repro.engine import AnalysisEngine
+from repro.experiments.table1_optimization import PAPER_MENUS
+from repro.tech.library import CellLibrary
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sertopt.json"
+#: The acceptance floor: batched end-to-end optimize() vs the serial
+#: objective on c432 at paper defaults.
+MIN_SPEEDUP = 3.0
+CIRCUIT = "c432"
+
+
+def _optimize(circuit, library, engine, batched: bool):
+    config = SertoptConfig(batched_evaluation=batched)  # paper defaults
+    sertopt = Sertopt(circuit, library=library, config=config, engine=engine)
+    started = time.perf_counter()
+    result = sertopt.optimize()
+    return result, time.perf_counter() - started
+
+
+def test_sertopt_batching_speedup(benchmark):
+    circuit = iscas85_circuit(CIRCUIT)
+    vdds, vths = PAPER_MENUS[CIRCUIT]
+    library = CellLibrary.paper_library(vdds=vdds, vths=vths)
+    # One shared engine: the sizing-invariant structural pass (P_ij,
+    # Equation-2 shares) is paid once and served to both runs, so the
+    # measurement compares the optimization inner loops only.
+    engine = AnalysisEngine()
+    _optimize(circuit, library, engine, batched=True)  # warm artifacts
+
+    serial_result, serial_s = _optimize(circuit, library, engine, batched=False)
+    batched_result, batched_s = _optimize(circuit, library, engine, batched=True)
+    if serial_s / batched_s < MIN_SPEEDUP:
+        # Shared CI runners jitter; best-of-two before declaring a
+        # regression.  Locally the observed ratio is ~6x.
+        serial_again, serial_s2 = _optimize(circuit, library, engine, False)
+        batched_again, batched_s2 = _optimize(circuit, library, engine, True)
+        serial_s = min(serial_s, serial_s2)
+        batched_s = min(batched_s, batched_s2)
+    speedup = serial_s / batched_s
+    benchmark.pedantic(
+        lambda: _optimize(circuit, library, engine, batched=True),
+        iterations=1,
+        rounds=1,
+    )
+
+    # The deterministic coordinate search must visit identical points on
+    # an identical budget; per-evaluation costs agree to 1e-9 relative
+    # (the energy/area terms sum in dense row order, everything else is
+    # bit-equal).
+    serial_opt = serial_result.optimizer_result
+    batched_opt = batched_result.optimizer_result
+    assert np.array_equal(serial_opt.x, batched_opt.x)
+    assert serial_opt.evaluations == batched_opt.evaluations
+    serial_history = np.array(serial_opt.history)
+    batched_history = np.array(batched_opt.history)
+    assert serial_history.shape == batched_history.shape
+    relative = np.abs(serial_history - batched_history) / np.abs(serial_history)
+    assert float(relative.max()) <= 1e-9
+    assert serial_result.unreliability_reduction == (
+        batched_result.unreliability_reduction
+    )
+
+    payload = {
+        "bench": "sertopt_optimize",
+        "unix_time": time.time(),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "fast"),
+        "note": "paper-default SertoptConfig regardless of scale",
+        "circuit": CIRCUIT,
+        "config": {
+            "optimizer": "coordinate",
+            "max_evaluations": SertoptConfig().max_evaluations,
+            "n_vectors": SertoptConfig().aserta.n_vectors,
+        },
+        "gates": circuit.gate_count,
+        "evaluations": serial_opt.evaluations,
+        "before": {"objective": "serial", "optimize_s": serial_s},
+        "after": {"objective": "batched", "optimize_s": batched_s},
+        "speedup": speedup,
+        "max_history_relative_difference": float(relative.max()),
+        "unreliability_reduction": batched_result.unreliability_reduction,
+        "delay_ratio": batched_result.delay_ratio,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"\nSERTOPT {CIRCUIT} optimize ({serial_opt.evaluations} evals): "
+        f"serial {serial_s:.2f} s, batched {batched_s:.2f} s "
+        f"-> {speedup:.1f}x -> {BENCH_JSON.name}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched optimize() only {speedup:.2f}x faster than the serial "
+        f"objective (acceptance floor {MIN_SPEEDUP}x)"
+    )

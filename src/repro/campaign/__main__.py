@@ -62,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample glitch-width counts, one analysis config per value",
     )
     parser.add_argument(
+        "--share-epsilon", type=float, default=None, metavar="EPS",
+        help="Equation-2 route-dropping cutoff (analysis-config axis; "
+        "non-default values get their own scenario digests)",
+    )
+    parser.add_argument(
+        "--structural-engine", default=None, choices=["batched", "event"],
+        help="structural P_ij estimator (bit-identical; 'event' is the "
+        "escape hatch)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH", default=None,
         help="JSONL result store; completed scenarios are skipped on re-runs",
     )
@@ -98,6 +108,11 @@ def _assignments(sizes: Sequence[float]) -> dict[str, ParameterAssignment]:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        extra = {}
+        if args.share_epsilon is not None:
+            extra["share_epsilon"] = args.share_epsilon
+        if args.structural_engine is not None:
+            extra["structural_engine"] = args.structural_engine
         spec = CampaignSpec(
             circuits=tuple(args.circuits),
             charges_fc=tuple(args.charges),
@@ -107,6 +122,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             sample_width_counts=tuple(args.sample_widths),
             cache_dir=args.cache_dir,
+            **extra,
         )
         store = ResultStore(args.store) if args.store else ResultStore()
         runner = CampaignRunner(spec, store=store, max_workers=args.workers)

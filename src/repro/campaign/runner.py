@@ -52,6 +52,18 @@ WorkItem = tuple[ScenarioKey, ParameterAssignment, Environment]
 #: across batches without any coordination.
 _ANALYZER_CACHE: dict[tuple, AsertaAnalyzer] = {}
 
+#: Per-process analyzer reuse counters — the observable the parallel
+#: regression tests assert on (wall-clock is too noisy for CI).
+_WORKER_STATS = {"analyzer_builds": 0, "analyzer_reuses": 0}
+
+#: Auto-mode amortization threshold: grids with fewer pending analysis
+#: units than this run serially — process-pool startup (interpreter +
+#: NumPy import, table rebuild per worker) costs more than it saves on
+#: small grids, which is exactly the parallel-slower-than-serial
+#: regression ``BENCH_campaign.json`` recorded.  Forcing
+#: ``parallel=True`` still dispatches regardless of grid size.
+PARALLEL_MIN_UNITS = 16
+
 #: Per-process engine handles, one per cache directory.  Workers build
 #: the handle lazily on first use, so every batch a worker is handed
 #: shares one compiled-artifact cache (and, with a ``cache_dir``, the
@@ -70,6 +82,8 @@ def clear_analyzer_cache() -> None:
     """
     _ANALYZER_CACHE.clear()
     _ENGINE_HANDLES.clear()
+    _WORKER_STATS["analyzer_builds"] = 0
+    _WORKER_STATS["analyzer_reuses"] = 0
     set_default_engine(None)
 
 
@@ -102,6 +116,9 @@ def analyzer_for(
             engine=_engine_for(cache_dir),
         )
         _ANALYZER_CACHE[key] = analyzer
+        _WORKER_STATS["analyzer_builds"] += 1
+    else:
+        _WORKER_STATS["analyzer_reuses"] += 1
     return analyzer
 
 
@@ -117,7 +134,7 @@ def _evaluate_batch(
     config: AsertaConfig,
     items: Sequence[WorkItem],
     cache_dir: str | None = None,
-) -> list[ScenarioResult]:
+) -> tuple[list[ScenarioResult], dict]:
     """Evaluate one batch of scenarios sharing a structural group.
 
     Runs in a worker process under parallel execution and in the main
@@ -126,6 +143,11 @@ def _evaluate_batch(
     assignment).  ``cache_dir`` selects the worker's compiled-artifact
     cache handle (shared across batches and, on disk, across workers
     and runs).
+
+    Alongside the results, returns a per-batch stats record — the
+    worker pid plus the process-cumulative analyzer build/reuse
+    counters — so callers can assert structural-pass reuse directly
+    instead of inferring it from wall-clock.
     """
     analyzer = analyzer_for(group, config, cache_dir)
     analysis_cache: dict[tuple, tuple[float, float]] = {}
@@ -153,7 +175,13 @@ def _evaluate_batch(
                 analyze_runtime_s=runtime,
             )
         )
-    return results
+    stats = {
+        "pid": os.getpid(),
+        "group": group,
+        "analyzer_builds": _WORKER_STATS["analyzer_builds"],
+        "analyzer_reuses": _WORKER_STATS["analyzer_reuses"],
+    }
+    return results, stats
 
 
 @dataclass(frozen=True)
@@ -175,11 +203,25 @@ class CampaignOutcome:
     mode: str
     #: Worker processes used (1 for serial).
     workers: int
+    #: Per-batch worker stats (pid + cumulative analyzer build/reuse
+    #: counters at batch completion), in dispatch order.  Empty when the
+    #: run had no work.  This is the observable the parallel-reuse
+    #: tests assert on.
+    batch_stats: tuple[dict, ...] = ()
 
     @property
     def scenarios_per_second(self) -> float:
         total = self.computed + self.skipped
         return total / self.wall_s if self.wall_s > 0.0 else 0.0
+
+    def analyzer_builds_by_worker(self) -> dict[int, int]:
+        """Structural analyzer builds per worker pid (final counters)."""
+        final: dict[int, int] = {}
+        for stats in self.batch_stats:
+            final[stats["pid"]] = max(
+                final.get(stats["pid"], 0), stats["analyzer_builds"]
+            )
+        return final
 
 
 class CampaignRunner:
@@ -190,12 +232,18 @@ class CampaignRunner:
         spec: CampaignSpec,
         store: ResultStore | None = None,
         max_workers: int | None = None,
+        parallel_min_units: int = PARALLEL_MIN_UNITS,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise CampaignError(f"max_workers must be >= 1, got {max_workers}")
+        if parallel_min_units < 0:
+            raise CampaignError(
+                f"parallel_min_units must be >= 0, got {parallel_min_units}"
+            )
         self.spec = spec
         self.store = store if store is not None else ResultStore()
         self.max_workers = max_workers
+        self.parallel_min_units = parallel_min_units
 
     def _batches(
         self, pending: Sequence[ScenarioKey], workers: int
@@ -209,6 +257,13 @@ class CampaignRunner:
         inside one, so the environment axis is always served from a
         single electrical analysis no matter how many chunks a group is
         split into or which execution mode runs them.
+
+        The batch sequence interleaves groups round-robin (first chunk
+        of every circuit, then second chunks, ...): a pool of W workers
+        then starts on W *distinct* circuits, and a worker that finishes
+        a chunk most likely picks up another chunk of a circuit it has
+        already compiled — per-worker analyzer/engine reuse instead of
+        every worker rebuilding every circuit's structural pass.
         """
         groups: dict[tuple, dict[tuple, list[WorkItem]]] = {}
         for key in pending:
@@ -221,27 +276,46 @@ class CampaignRunner:
                 _analysis_unit(key), []
             ).append(item)
         per_group = max(1, workers // max(1, len(groups)))
-        batches: list[tuple[tuple, AsertaConfig, list[WorkItem], str | None]] = []
+        chunked: list[list[tuple[tuple, AsertaConfig, list[WorkItem], str | None]]] = []
         for group, units in groups.items():
             config = self.spec.aserta_config()
             unit_lists = list(units.values())
             n_chunks = min(per_group, len(unit_lists))
             size = math.ceil(len(unit_lists) / n_chunks)
+            group_batches = []
             for start in range(0, len(unit_lists), size):
                 chunk = [
                     item
                     for unit_items in unit_lists[start : start + size]
                     for item in unit_items
                 ]
-                batches.append((group, config, chunk, self.spec.cache_dir))
+                group_batches.append(
+                    (group, config, chunk, self.spec.cache_dir)
+                )
+            chunked.append(group_batches)
+        batches: list[tuple[tuple, AsertaConfig, list[WorkItem], str | None]] = []
+        for round_index in range(max((len(g) for g in chunked), default=0)):
+            for group_batches in chunked:
+                if round_index < len(group_batches):
+                    batches.append(group_batches[round_index])
         return batches
+
+    def _pending_units(self, pending: Sequence[ScenarioKey]) -> int:
+        """Distinct electrical analyses the pending scenarios cost."""
+        return len(
+            {(key.structural_group(), _analysis_unit(key)) for key in pending}
+        )
 
     def run(self, parallel: bool | None = None) -> CampaignOutcome:
         """Evaluate every scenario not already in the store.
 
         ``parallel=None`` auto-selects: parallel when there is more than
-        one batch of work and more than one CPU.  ``parallel=True`` falls
-        back to serial execution if a process pool cannot be used.
+        one batch of work, more than one CPU, *and* the pending grid is
+        at least ``parallel_min_units`` analysis units — below that,
+        pool startup costs more than the work itself and the serial
+        path wins (the regression the campaign benchmark showed).
+        ``parallel=True`` forces dispatch regardless of grid size and
+        falls back to serial execution if a process pool cannot be used.
         """
         started = time.perf_counter()
         keys = self.spec.scenarios()
@@ -253,21 +327,26 @@ class CampaignRunner:
         batches = self._batches(pending, workers)
         workers = max(1, min(workers, len(batches)))
         if parallel is None:
-            parallel = workers > 1 and cpus > 1
+            parallel = (
+                workers > 1
+                and cpus > 1
+                and self._pending_units(pending) >= self.parallel_min_units
+            )
 
         mode = "serial"
         computed: list[ScenarioResult] = []
+        batch_stats: list[dict] = []
         if parallel and workers > 1 and _dispatchable(batches):
             dispatched = self._run_parallel(batches, workers)
             if dispatched is not None:
-                computed = dispatched
+                computed, batch_stats = dispatched
                 mode = "parallel"
         if mode == "serial":
             workers = 1
             for group, config, items, cache_dir in batches:
-                computed.extend(
-                    _evaluate_batch(group, config, items, cache_dir)
-                )
+                results, stats = _evaluate_batch(group, config, items, cache_dir)
+                computed.extend(results)
+                batch_stats.append(stats)
 
         for result in computed:
             self.store.add(result)
@@ -289,13 +368,14 @@ class CampaignRunner:
             analyze_s=sum(result.analyze_runtime_s for result in computed),
             mode=mode,
             workers=workers,
+            batch_stats=tuple(batch_stats),
         )
 
     @staticmethod
     def _run_parallel(
         batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem], str | None]],
         workers: int,
-    ) -> list[ScenarioResult] | None:
+    ) -> tuple[list[ScenarioResult], list[dict]] | None:
         """Dispatch the batches to a process pool.
 
         Returns ``None`` when the pool itself is unusable — construction
@@ -318,6 +398,7 @@ class CampaignRunner:
         except (ImportError, NotImplementedError, OSError):
             return None
         results: list[ScenarioResult] = []
+        batch_stats: list[dict] = []
         try:
             with pool:
                 try:
@@ -330,10 +411,12 @@ class CampaignRunner:
                 except OSError:
                     return None
                 for future in futures:
-                    results.extend(future.result())
+                    batch_results, stats = future.result()
+                    results.extend(batch_results)
+                    batch_stats.append(stats)
         except BrokenExecutor:
             return None
-        return results
+        return results, batch_stats
 
 
 def _dispatchable(batches: Sequence[tuple]) -> bool:

@@ -11,26 +11,37 @@
   weighted unreliability/delay/energy/area cost (Equation 5).
 """
 
-from repro.core.aserta import AsertaAnalyzer, AsertaConfig, AsertaReport
+from repro.core.aserta import (
+    AsertaAnalyzer,
+    AsertaBatch,
+    AsertaConfig,
+    AsertaReport,
+)
 from repro.core.electrical_masking import (
     ElectricalMaskingResult,
     electrical_masking,
+    electrical_masking_many,
     electrical_masking_reference,
 )
 from repro.core.masking import MaskingStructure, masking_structure
+from repro.core.matching import BatchMatchState, MatchingEngine
 from repro.core.sertopt import Sertopt, SertoptConfig, SertoptResult
 from repro.core.baseline import size_for_speed
 
 __all__ = [
     "AsertaAnalyzer",
+    "AsertaBatch",
     "AsertaConfig",
     "AsertaReport",
+    "BatchMatchState",
     "ElectricalMaskingResult",
     "MaskingStructure",
+    "MatchingEngine",
     "Sertopt",
     "SertoptConfig",
     "SertoptResult",
     "electrical_masking",
+    "electrical_masking_many",
     "electrical_masking_reference",
     "masking_structure",
     "size_for_speed",

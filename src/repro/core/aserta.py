@@ -25,7 +25,9 @@ from repro.circuit.netlist import Circuit
 from repro.core.electrical_masking import (
     ElectricalMaskingResult,
     default_sample_widths,
+    default_sample_widths_batch,
     electrical_masking,
+    electrical_masking_many,
     electrical_masking_reference,
 )
 from repro.core.masking import DEFAULT_SHARE_EPSILON
@@ -33,6 +35,8 @@ from repro.core.unreliability import (
     UnreliabilityReport,
     build_report,
     build_report_from_arrays,
+    gate_contributions,
+    total_unreliability,
 )
 from repro.engine.engine import (
     STRUCTURAL_ENGINES,
@@ -43,10 +47,22 @@ from repro.engine.structural import sparse_paths_from_matrix
 from repro.errors import AnalysisError
 from repro.logicsim.bitsim import BitParallelSimulator
 from repro.logicsim.probability import static_probabilities
+from repro.power.energy import activity_row, circuit_energy_batch
+from repro.sta.timing import analyze_timing_batch
 from repro.tech import constants as k
-from repro.tech.electrical_view import CircuitElectrical, cell_param_arrays
+from repro.tech.electrical_view import (
+    CircuitElectrical,
+    batched_electrical_arrays,
+    cell_param_arrays,
+    stack_cell_param_arrays,
+)
 from repro.tech.library import ParameterAssignment
 from repro.tech.table_builder import TechnologyTables, default_tables
+
+#: Ceiling on one batch's ``(B, V, O, k+1)`` masking tensor, bytes —
+#: :meth:`AsertaAnalyzer.analyze_many` splits larger populations into
+#: chunks so memory stays flat on wide circuits.
+DEFAULT_MAX_BATCH_BYTES = 1 << 28
 
 
 @dataclass(frozen=True)
@@ -97,6 +113,30 @@ class AsertaConfig:
             raise AnalysisError(
                 f"share_epsilon must be > 0, got {self.share_epsilon}"
             )
+
+
+@dataclass(frozen=True)
+class AsertaBatch:
+    """Dense metrics for a population of assignments (one row each).
+
+    The batched analysis path deliberately skips building per-candidate
+    :class:`AsertaReport`\\ s — no ``WS`` dict views, no per-gate report
+    entries — because the SERTOPT inner loop only consumes these four
+    reductions.  Call :meth:`AsertaAnalyzer.analyze` on the winning
+    assignment for the full lazy report.
+    """
+
+    #: Equation-4 circuit unreliability ``U`` per candidate.
+    totals: np.ndarray
+    #: Circuit delay (longest path) per candidate, ps.
+    delay_ps: np.ndarray
+    #: Total per-cycle energy (dynamic + static) per candidate, fJ.
+    energy_fj: np.ndarray
+    #: Total relative layout area per candidate.
+    area: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.totals.shape[0])
 
 
 @dataclass(frozen=True)
@@ -178,6 +218,7 @@ class AsertaAnalyzer:
             epsilon=self.share_epsilon,
         )
         self._sensitized_paths: dict[str, dict[str, float]] | None = None
+        self._activity_row: np.ndarray | None = None
 
     @property
     def sensitized_paths(self) -> dict[str, dict[str, float]]:
@@ -302,4 +343,143 @@ class AsertaAnalyzer:
             masking=masking,
             electrical=elec,
             runtime_s=runtime,
+        )
+
+    @property
+    def activities(self) -> np.ndarray:
+        """Dense per-row switching activities (assignment-independent),
+        built once and shared by every batched energy reduction."""
+        if self._activity_row is None:
+            self._activity_row = activity_row(self.indexed, self.probabilities)
+        return self._activity_row
+
+    def analyze_many(
+        self,
+        assignments=None,
+        params: dict[str, np.ndarray] | None = None,
+        charge_fc: float | None = None,
+        n_sample_widths: int | None = None,
+        max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+    ) -> AsertaBatch:
+        """Analyze a *population* of assignments through one array pass.
+
+        ``assignments`` is a sequence of :class:`ParameterAssignment`;
+        alternatively ``params`` supplies the stacked ``(B, V)``
+        ``size``/``length_nm``/``vdd``/``vth`` arrays directly (what the
+        batched matcher produces), skipping the dict scatter entirely.
+        Candidate assignments are stacked into the existing LUT gathers,
+        the Section-3.2 sweep runs over a ``(B, V, O, k+1)`` tensor
+        (chunked under ``max_batch_bytes``), and Equations 3-4 reduce
+        per candidate — no per-candidate :class:`AsertaReport` is built.
+
+        Lane ``b`` of :attr:`AsertaBatch.totals` is bit-identical to
+        ``analyze(assignment_b).total`` (the differential test suite
+        pins this); delay is exactly equal, energy and area match to
+        float reassociation.
+
+        Only the array/table path is batched: with ``use_tables=False``
+        (or on gate-less circuits) this falls back to per-assignment
+        :meth:`analyze` calls, which then requires ``assignments``.
+        """
+        if (assignments is None) == (params is None):
+            raise AnalysisError(
+                "pass exactly one of assignments or params to analyze_many"
+            )
+        if (
+            len(assignments) if assignments is not None
+            else params["size"].shape[0]
+        ) < 1:
+            raise AnalysisError("analyze_many needs at least one candidate")
+        idx = self.indexed
+        if not self.config.use_tables or not idx.group_pairs:
+            if assignments is None:
+                raise AnalysisError(
+                    "the non-array fallback of analyze_many needs "
+                    "assignments, not raw parameter arrays"
+                )
+            reports = [
+                self.analyze(
+                    a, charge_fc=charge_fc, n_sample_widths=n_sample_widths
+                )
+                for a in assignments
+            ]
+            from repro.power.area import circuit_area
+            from repro.power.energy import circuit_energy
+            from repro.sta.timing import analyze_timing
+
+            return AsertaBatch(
+                totals=np.array([r.total for r in reports]),
+                delay_ps=np.array(
+                    [
+                        analyze_timing(
+                            self.circuit, r.electrical.delay_ps
+                        ).delay_ps
+                        for r in reports
+                    ]
+                ),
+                energy_fj=np.array(
+                    [
+                        circuit_energy(
+                            self.circuit, r.electrical, self.probabilities
+                        ).total_fj
+                        for r in reports
+                    ]
+                ),
+                area=np.array(
+                    [circuit_area(self.circuit, r.electrical) for r in reports]
+                ),
+            )
+
+        if params is None:
+            params = stack_cell_param_arrays(idx, assignments)
+        n_lanes = params["size"].shape[0]
+        charge = self.config.charge_fc if charge_fc is None else charge_fc
+        n_k = (
+            self.config.n_sample_widths
+            if n_sample_widths is None
+            else n_sample_widths
+        )
+        per_lane = idx.n_signals * idx.n_outputs * (n_k + 1) * 8
+        chunk = int(max(1, min(n_lanes, max_batch_bytes // max(1, per_lane))))
+
+        totals = np.empty(n_lanes)
+        delay = np.empty(n_lanes)
+        energy = np.empty(n_lanes)
+        area = np.empty(n_lanes)
+        for start in range(0, n_lanes, chunk):
+            stop = min(start + chunk, n_lanes)
+            part = {
+                field: np.ascontiguousarray(values[start:stop])
+                for field, values in params.items()
+            }
+            arrays = batched_electrical_arrays(
+                self.circuit, self.tables, part, charge_fc=charge
+            )
+            samples = default_sample_widths_batch(
+                idx, arrays["delay_ps"], arrays["generated_width_ps"], n_k
+            )
+            expected = electrical_masking_many(
+                self.structure,
+                arrays["delay_ps"],
+                arrays["generated_width_ps"],
+                samples,
+            )
+            # Equations 3-4 lane by lane over contiguous slices: the
+            # exact reductions of the single-candidate path, so totals
+            # stay bit-consistent with analyze().
+            for lane in range(stop - start):
+                totals[start + lane] = total_unreliability(
+                    gate_contributions(part["size"][lane], expected[lane])
+                )
+            delay[start:stop] = analyze_timing_batch(
+                idx, arrays["delay_ps"]
+            ).delay_ps
+            energy[start:stop] = circuit_energy_batch(
+                idx, arrays, self.activities
+            )
+            area[start:stop] = arrays["area_units"][:, idx.gate_rows].sum(
+                axis=1
+            )
+        return AsertaBatch(
+            totals=totals, delay_ps=delay, energy_fj=energy, area=area
         )

@@ -14,8 +14,11 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.circuit.netlist import Circuit
-from repro.sta.timing import analyze_timing, critical_path
-from repro.tech.electrical_view import CircuitElectrical
+from repro.sta.timing import analyze_timing_batch, critical_path
+from repro.tech.electrical_view import (
+    cell_param_arrays,
+    continuous_delay_arrays,
+)
 from repro.tech.library import CellLibrary, CellParams, NOMINAL_CELL, ParameterAssignment
 from repro.tech.table_builder import TechnologyTables
 
@@ -31,18 +34,36 @@ def size_for_speed(
     Only gate *size* varies (like the paper's baseline); channel length,
     VDD and Vth stay at the nominal cell's values.  Returns the
     resulting assignment.
+
+    Delay probes run through the batched continuous model
+    (:func:`continuous_delay_arrays` is bitwise equal to the scalar
+    ``use_tables=False`` annotation), so the sizing decisions — and the
+    returned baseline — are unchanged from the original scalar loop,
+    just cheaper.  ``tables`` is accepted for signature compatibility
+    but has never influenced the result: the baseline is defined on the
+    continuous model (the original implementation also passed
+    ``use_tables=False``, which bypasses the tables entirely).
     """
     sizes = sorted(library.sizes) if library is not None else [0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
     assignment = ParameterAssignment(default=NOMINAL_CELL)
+    indexed = circuit.indexed()
+
+    def delay_rows(asg: ParameterAssignment):
+        params = {
+            field: values[None, :]
+            for field, values in cell_param_arrays(indexed, asg).items()
+        }
+        return continuous_delay_arrays(circuit, params)["delay_ps"]
 
     def circuit_delay(asg: ParameterAssignment) -> float:
-        elec = CircuitElectrical(circuit, asg, tables=tables, use_tables=False)
-        return analyze_timing(circuit, elec.delay_ps).delay_ps
+        return float(analyze_timing_batch(indexed, delay_rows(asg)).delay_ps[0])
 
     best_delay = circuit_delay(assignment)
     for __ in range(max_rounds):
-        elec = CircuitElectrical(circuit, assignment, tables=tables, use_tables=False)
-        path = critical_path(circuit, elec.delay_ps)
+        delays = delay_rows(assignment)[0]
+        path = critical_path(
+            circuit, indexed.scatter(delays, indexed.gate_rows)
+        )
         candidate = assignment.copy()
         changed = False
         for name in path:

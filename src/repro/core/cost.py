@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.aserta import AsertaAnalyzer, AsertaReport
+import numpy as np
+
+from repro.core.aserta import AsertaAnalyzer, AsertaBatch, AsertaReport
 from repro.errors import OptimizationError
 from repro.power.energy import circuit_energy
 from repro.power.area import circuit_area
@@ -161,8 +163,49 @@ class CostEvaluator:
             assignment, self.baseline_breakdown.metrics
         )
 
+    def evaluate_batch(
+        self,
+        assignments=None,
+        params: dict[str, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Equation-5 totals for a population, as a ``(B,)`` array.
+
+        Metrics come from one :meth:`AsertaAnalyzer.analyze_many` pass;
+        ratios and the weighted sum apply the exact expressions of
+        :meth:`evaluate`, so lane ``b`` agrees with the serial cost of
+        assignment ``b`` to float reassociation (the unreliability and
+        delay terms are bit-equal; energy/area sum in dense row order).
+        No :class:`CostBreakdown` (and no per-candidate report) is
+        built — this is the batched SERTOPT objective's fast path.
+        """
+        batch: AsertaBatch = self.analyzer.analyze_many(
+            assignments=assignments, params=params
+        )
+        base = self.baseline_breakdown.metrics
+        ratios = (
+            _ratio_array(batch.totals, base.unreliability),
+            _ratio_array(batch.delay_ps, base.delay_ps),
+            _ratio_array(batch.energy_fj, base.energy_fj),
+            _ratio_array(batch.area, base.area),
+        )
+        w = self.weights
+        return (
+            w.unreliability * ratios[0]
+            + w.timing * ratios[1]
+            + w.energy * ratios[2]
+            + w.area * ratios[3]
+            + w.timing_cap_penalty * np.maximum(0.0, ratios[1] - w.timing_cap)
+        )
+
 
 def _ratio(value: float, base: float) -> float:
     if base <= 0.0:
         return 1.0 if value <= 0.0 else float("inf")
     return value / base
+
+
+def _ratio_array(values: np.ndarray, base: float) -> np.ndarray:
+    """Vectorized :func:`_ratio` against one scalar baseline."""
+    if base <= 0.0:
+        return np.where(values <= 0.0, 1.0, np.inf)
+    return values / base

@@ -52,8 +52,12 @@ from repro.core.masking import (
 )
 from repro.errors import AnalysisError
 from repro.tech.electrical_view import CircuitElectrical
-from repro.tech.glitch import propagate_width_array, propagate_width_grid
-from repro.tech.lut import bracket_queries
+from repro.tech.glitch import (
+    propagate_width_array,
+    propagate_width_grid,
+    propagate_width_grid_batch,
+)
+from repro.tech.lut import bracket_queries, bracket_queries_rows
 
 
 @dataclass(frozen=True)
@@ -154,6 +158,21 @@ class ElectricalMaskingResult:
         return self.expected.get(gate_name, {}).get(output_name, 0.0)
 
 
+def _sample_width_grid(
+    min_delay: float, max_delay: float, widest: float, n_samples: int
+) -> np.ndarray:
+    """The one home of the sample-width grid formula.
+
+    Every entry point (dict view, dense arrays, candidate batches)
+    reduces its electrical state to ``(min delay, max delay, widest
+    generated glitch)`` and calls this — the grids, and therefore the
+    interpolated masking results, stay bitwise identical across paths.
+    """
+    low = max(min_delay * 0.5, 1e-3)
+    high = max(2.2 * max_delay, 1.1 * widest, low * 4.0)
+    return np.geomspace(low, high, n_samples)
+
+
 def default_sample_widths(
     elec: CircuitElectrical, n_samples: int = 10
 ) -> np.ndarray:
@@ -178,17 +197,17 @@ def default_sample_widths(
         if delays_arr.size == 0:
             raise AnalysisError("circuit has no gates with positive delay")
         width_rows = arrays["generated_width_ps"][rows]
-        low = max(float(delays_arr.min()) * 0.5, 1e-3)
         widest = float(width_rows.max()) if width_rows.size else 0.0
-        high = max(2.2 * float(delays_arr.max()), 1.1 * widest, low * 4.0)
-        return np.geomspace(low, high, n_samples)
+        return _sample_width_grid(
+            float(delays_arr.min()), float(delays_arr.max()), widest, n_samples
+        )
     delays = [d for d in elec.delay_ps.values() if d > 0.0]
     widths = [w for w in elec.generated_width_ps.values()]
     if not delays:
         raise AnalysisError("circuit has no gates with positive delay")
-    low = max(min(delays) * 0.5, 1e-3)
-    high = max(2.2 * max(delays), 1.1 * max(widths, default=0.0), low * 4.0)
-    return np.geomspace(low, high, n_samples)
+    return _sample_width_grid(
+        min(delays), max(delays), max(widths, default=0.0), n_samples
+    )
 
 
 def _check_samples(sample_widths: np.ndarray) -> np.ndarray:
@@ -297,6 +316,125 @@ def electrical_masking(
         sample_widths=samples,
         arrays=MaskingArrays(indexed=idx, ws=ws, expected=expected),
     )
+
+
+def default_sample_widths_batch(
+    indexed: IndexedCircuit,
+    delays: np.ndarray,
+    generated: np.ndarray,
+    n_samples: int = 10,
+) -> np.ndarray:
+    """Per-candidate ``(B, k)`` sample-width grids.
+
+    Row ``b`` equals :func:`default_sample_widths` of candidate ``b``'s
+    electrical view bitwise: the min/max reductions are exact, and each
+    row's grid comes from the same scalar ``np.geomspace`` call.
+    """
+    if n_samples < 2:
+        raise AnalysisError(f"need at least 2 sample widths, got {n_samples}")
+    rows = indexed.gate_rows
+    delay_rows = np.asarray(delays, dtype=np.float64)[:, rows]
+    width_rows = np.asarray(generated, dtype=np.float64)[:, rows]
+    out = np.empty((delay_rows.shape[0], n_samples))
+    for lane in range(delay_rows.shape[0]):
+        lane_delays = delay_rows[lane][delay_rows[lane] > 0.0]
+        if lane_delays.size == 0:
+            raise AnalysisError("circuit has no gates with positive delay")
+        widest = (
+            float(width_rows[lane].max()) if width_rows[lane].size else 0.0
+        )
+        out[lane] = _sample_width_grid(
+            float(lane_delays.min()),
+            float(lane_delays.max()),
+            widest,
+            n_samples,
+        )
+    return out
+
+
+def electrical_masking_many(
+    structure: MaskingStructure,
+    delays: np.ndarray,
+    generated: np.ndarray,
+    sample_widths: np.ndarray,
+) -> np.ndarray:
+    """The Section-3.2 sweep for a *population* of candidates at once.
+
+    ``delays`` and ``generated`` are ``(B, V)`` per-candidate electrical
+    annotations; ``sample_widths`` is the ``(B, k)`` per-candidate grid.
+    Returns the dense ``(B, V, O)`` Equation-3 expected-width matrix —
+    the only masking output the batched cost loop needs, so per-candidate
+    ``WS`` dict views and reports are never materialized.
+
+    Lane ``b`` performs the exact operation sequence of
+    :func:`electrical_masking` on candidate ``b`` (same gathers, same
+    ``np.add.at`` accumulation order per lane), so the expected-width
+    matrices — and the Equation-4 totals reduced from them — are
+    bit-identical to the one-candidate path.
+    """
+    idx = structure.indexed
+    delays = np.asarray(delays, dtype=np.float64)
+    samples = np.asarray(sample_widths, dtype=np.float64)
+    generated = np.asarray(generated, dtype=np.float64)
+    if delays.ndim != 2 or delays.shape[1] != idx.n_signals:
+        raise AnalysisError(
+            f"expected (B, {idx.n_signals}) delays, got {delays.shape}"
+        )
+    if samples.ndim != 2 or samples.shape[0] != delays.shape[0]:
+        raise AnalysisError(
+            "sample widths must be (B, k) aligned with the delay batch"
+        )
+    if np.any(np.diff(samples, axis=1) <= 0.0):
+        raise AnalysisError("sample widths must be strictly increasing rows")
+    n_lanes, n_samples = samples.shape
+    anchored_x = np.concatenate(
+        (np.zeros((n_lanes, 1)), samples), axis=1
+    )
+    ws = np.zeros((n_lanes, idx.n_signals, idx.n_outputs, n_samples + 1))
+
+    po_rows = idx.output_rows
+    po_cols = idx.col_of_row[po_rows]
+    ws[:, po_rows, po_cols, 1:] = samples[:, np.newaxis, :]
+
+    attenuated = propagate_width_grid_batch(samples, delays)
+    low, high, frac = bracket_queries_rows(anchored_x, attenuated, "width")
+
+    inner = ws[..., 1:]
+    lanes = np.arange(n_lanes)[:, np.newaxis]
+    edge_share = structure.edge_shares
+    edge_src, edge_dst = idx.edge_src, idx.edge_dst
+    for edges in structure.sweep_batches:
+        src, dst = edge_src[edges], edge_dst[edges]
+        tab = ws[:, dst]
+        f = frac[:, dst][:, :, np.newaxis, :]
+        t_lo = np.take_along_axis(
+            tab, low[:, dst][:, :, np.newaxis, :], axis=3
+        )
+        t_hi = np.take_along_axis(
+            tab, high[:, dst][:, :, np.newaxis, :], axis=3
+        )
+        contribution = t_lo * (1.0 - f) + t_hi * f
+        np.add.at(
+            inner,
+            (lanes, src[np.newaxis, :]),
+            edge_share[edges][np.newaxis, :, :, np.newaxis] * contribution,
+        )
+
+    g_low, g_high, g_frac = bracket_queries_rows(
+        anchored_x, generated, "width"
+    )
+    g_lo = np.take_along_axis(
+        ws, g_low[:, :, np.newaxis, np.newaxis], axis=3
+    )
+    g_hi = np.take_along_axis(
+        ws, g_high[:, :, np.newaxis, np.newaxis], axis=3
+    )
+    expected = (
+        g_lo[..., 0] * (1.0 - g_frac[:, :, np.newaxis])
+        + g_hi[..., 0] * g_frac[:, :, np.newaxis]
+    )
+    expected[:, po_rows, po_cols] = generated[:, po_rows]
+    return expected
 
 
 def electrical_masking_reference(

@@ -15,6 +15,7 @@ whole library for one gate is a handful of numpy operations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -22,11 +23,16 @@ import numpy as np
 from repro.circuit.gate import GateType
 from repro.circuit.netlist import Circuit
 from repro.errors import OptimizationError
-from repro.sta.timing import analyze_timing
-from repro.tech.electrical_view import CircuitElectrical
+from repro.sta.timing import analyze_timing, analyze_timing_batch
+from repro.tech.electrical_view import CircuitElectrical, continuous_delay_arrays
 from repro.tech import constants as k
 from repro.tech import gate_electrical as ge
-from repro.tech.library import CellLibrary, CellParams, ParameterAssignment
+from repro.tech.library import (
+    CellLibrary,
+    CellParams,
+    NOMINAL_CELL,
+    ParameterAssignment,
+)
 from repro.units import PS_PER_FF_V_PER_UA
 
 
@@ -35,6 +41,11 @@ class _CellArrays:
 
     def __init__(self, gtype: GateType, fanin: int, cells: tuple[CellParams, ...]):
         self.cells = cells
+        #: Cell -> position; cells are unique, so this is equivalent to
+        #: (and much faster than) ``cells.index(...)`` anchor lookups.
+        self.cell_pos = {cell: idx for idx, cell in enumerate(cells)}
+        self._frugality: dict[tuple[float, float, float], np.ndarray] = {}
+        self.vdd_min = min(cell.vdd for cell in cells)
         n = len(cells)
         self.slope = np.empty(n)       # ps per fF of output capacitance
         self.self_cap = np.empty(n)    # fF
@@ -64,6 +75,84 @@ class _CellArrays:
             + k.RAMP_DELAY_FRACTION * ramp_ps
         )
 
+    def frugality(
+        self,
+        energy_weight_ps_per_fj: float,
+        area_weight_ps: float,
+        leakage_weight_ps_per_uw: float,
+    ) -> np.ndarray:
+        """The per-cell frugality score term, cached per weight tuple.
+
+        Computed with exactly the expression of the scalar matcher, so
+        cached and freshly-computed scores agree bitwise.
+        """
+        key = (energy_weight_ps_per_fj, area_weight_ps, leakage_weight_ps_per_uw)
+        cached = self._frugality.get(key)
+        if cached is None:
+            dynamic_proxy = (self.self_cap + self.input_cap) * self.vdd**2
+            cached = (
+                energy_weight_ps_per_fj * dynamic_proxy
+                + area_weight_ps * self.area
+                + leakage_weight_ps_per_uw * self.leak_uw
+            )
+            self._frugality[key] = cached
+        return cached
+
+
+@dataclass
+class BatchMatchState:
+    """Matched cells for a population of delay-target vectors.
+
+    Arrays are ``(B, V)`` over ``circuit.indexed()`` rows; ``cell_idx``
+    indexes into ``cells`` (the library's cell tuple) and is ``-1`` on
+    non-gate rows.  ``input_cap``/``vdd`` carry the chosen cells' pin
+    capacitance and supply so an incremental rematch can start from a
+    previous state without re-deriving them.
+    """
+
+    cells: tuple[CellParams, ...]
+    cell_idx: np.ndarray
+    input_cap: np.ndarray
+    vdd: np.ndarray
+
+    def param_arrays(
+        self, lanes: np.ndarray | None = None
+    ) -> dict[str, np.ndarray]:
+        """Stacked ``(L, V)`` cell-parameter arrays for ``lanes`` (all
+        lanes when omitted), with :data:`NOMINAL_CELL` defaults on
+        non-gate rows — exactly the shape
+        :func:`repro.tech.electrical_view.cell_param_arrays` produces
+        for the materialized assignments."""
+        idx = self.cell_idx if lanes is None else self.cell_idx[lanes]
+        luts = {
+            "size": np.array([c.size for c in self.cells]),
+            "length_nm": np.array([c.length_nm for c in self.cells]),
+            "vdd": np.array([c.vdd for c in self.cells]),
+            "vth": np.array([c.vth for c in self.cells]),
+        }
+        defaults = {
+            "size": NOMINAL_CELL.size,
+            "length_nm": NOMINAL_CELL.length_nm,
+            "vdd": NOMINAL_CELL.vdd,
+            "vth": NOMINAL_CELL.vth,
+        }
+        chosen = idx >= 0
+        out: dict[str, np.ndarray] = {}
+        for field, lut in luts.items():
+            arr = np.full(idx.shape, defaults[field], dtype=np.float64)
+            arr[chosen] = lut[idx[chosen]]
+            out[field] = arr
+        return out
+
+    def assignment(self, lane: int, order: tuple[str, ...]) -> ParameterAssignment:
+        """Materialize lane ``lane`` as a :class:`ParameterAssignment`."""
+        built = ParameterAssignment()
+        row_cells = self.cell_idx[lane]
+        for row, name in enumerate(order):
+            if row_cells[row] >= 0:
+                built.set(name, self.cells[row_cells[row]])
+        return built
+
 
 class MatchingEngine:
     """Matches delay assignments onto a discrete cell library."""
@@ -84,6 +173,60 @@ class MatchingEngine:
             arrays = _CellArrays(gtype, fanin, self.library.cells())
             self._arrays[key] = arrays
         return arrays
+
+    def _row_plan(self):
+        """Reverse-topological per-gate plan over indexed rows.
+
+        One tuple per gate, in exactly :attr:`_reverse_order` order:
+        ``(name, row, fanout_rows, is_output, cell_arrays)``.  Built
+        once per engine; the batched matcher walks it instead of chasing
+        name-keyed maps.
+        """
+        plan = getattr(self, "_plan", None)
+        if plan is None:
+            idx = self.circuit.indexed()
+            plan = []
+            for name in self._reverse_order:
+                gate = self.circuit.gate(name)
+                row = idx.index[name]
+                fanouts = tuple(
+                    idx.index[s] for s in self.circuit.fanouts(name)
+                )
+                plan.append(
+                    (
+                        name,
+                        row,
+                        fanouts,
+                        np.array(fanouts, dtype=np.int64),
+                        self.circuit.is_output(name),
+                        self._cell_arrays(gate.gtype, gate.fanin_count),
+                    )
+                )
+            self._plan = plan
+        return plan
+
+    def _ramp_row(self, input_ramps) -> np.ndarray:
+        """Dense per-row input-ramp estimates (``PRIMARY_INPUT_RAMP_PS``
+        where the mapping has no entry, as the scalar matcher assumes)."""
+        if isinstance(input_ramps, np.ndarray):
+            return input_ramps
+        idx = self.circuit.indexed()
+        out = np.full(idx.n_signals, k.PRIMARY_INPUT_RAMP_PS)
+        for name, value in input_ramps.items():
+            row = idx.index.get(name)
+            if row is not None:
+                out[row] = float(value)
+        return out
+
+    def _anchor_row(self, anchor: ParameterAssignment | None) -> np.ndarray | None:
+        """Per-row anchor cell positions (-1 where absent/ineligible)."""
+        if anchor is None:
+            return None
+        idx = self.circuit.indexed()
+        out = np.full(idx.n_signals, -1, dtype=np.int64)
+        for name, row, __f, __fa, __o, arrays in self._row_plan():
+            out[row] = arrays.cell_pos.get(anchor[name], -1)
+        return out
 
     def match(
         self,
@@ -179,6 +322,253 @@ class MatchingEngine:
             assignment, __ = self._match_once(targets, input_ramps, anchor)
         return assignment
 
+    def match_batch(
+        self,
+        targets: np.ndarray,
+        input_ramps,
+        anchor: ParameterAssignment | None = None,
+        reference: BatchMatchState | None = None,
+        changed: np.ndarray | None = None,
+        energy_weight_ps_per_fj: float = 0.6,
+        area_weight_ps: float = 0.03,
+        leakage_weight_ps_per_uw: float = 5.0,
+        anchor_bonus_ps: float = 0.5,
+    ) -> BatchMatchState:
+        """One reverse-topological matching pass over a *population*.
+
+        ``targets`` is ``(B, V)`` over indexed rows (gate rows
+        meaningful).  Lane ``b`` chooses exactly the cells
+        :meth:`match` would choose for target vector ``b`` — the same
+        score arithmetic runs vectorized across lanes, so ties resolve
+        identically.
+
+        ``reference`` + ``changed`` enable the delta-aware fast path: a
+        coordinate probe perturbs one nullspace direction, so only gates
+        whose own target changed — or with a successor whose *chosen
+        cell* changed — can match differently than the reference state.
+        Dirtiness propagates source-ward exactly along that rule (a
+        recomputed gate that re-picks its reference cell stops the
+        wave), and untouched ``(lane, gate)`` entries are copied from
+        the reference, never rescored.  ``reference`` arrays may be
+        ``(V,)`` (one shared reference) or ``(B, V)`` (per-lane, as the
+        timing-repair rematch uses).
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        idx = self.circuit.indexed()
+        if targets.ndim != 2 or targets.shape[1] != idx.n_signals:
+            raise OptimizationError(
+                f"expected (B, {idx.n_signals}) targets, got {targets.shape}"
+            )
+        n_lanes = targets.shape[0]
+        plan = self._row_plan()
+        ramp_row = self._ramp_row(input_ramps)
+        anchor_row = self._anchor_row(anchor)
+        cells = self.library.cells()
+
+        if reference is None:
+            cell_idx = np.full((n_lanes, idx.n_signals), -1, dtype=np.int64)
+            input_cap = np.zeros((n_lanes, idx.n_signals))
+            vdd = np.zeros((n_lanes, idx.n_signals))
+            dirty = None
+        else:
+            if changed is None:
+                raise OptimizationError(
+                    "match_batch needs the changed mask when a reference "
+                    "state is supplied"
+                )
+            shape = (n_lanes, idx.n_signals)
+            cell_idx = np.broadcast_to(reference.cell_idx, shape).copy()
+            input_cap = np.broadcast_to(reference.input_cap, shape).copy()
+            vdd = np.broadcast_to(reference.vdd, shape).copy()
+            dirty = np.zeros(shape, dtype=bool)
+            # Conservative pre-pass: a gate can only differ from the
+            # reference if its own target changed in *some* lane or some
+            # successor might — the union fan-in cone of all changes.
+            # Gates outside it skip with one boolean test instead of
+            # per-lane mask algebra (the common case under sparse
+            # coordinate probes).
+            may_change = changed.any(axis=0).copy()
+            for __n, row, __f, fanout_rows, __o, __a in plan:
+                if not may_change[row] and fanout_rows.size:
+                    if may_change[fanout_rows].any():
+                        may_change[row] = True
+
+        for name, row, fanouts, fanout_rows, is_output, arrays in plan:
+            if dirty is None:
+                lanes = None
+                active = n_lanes
+            else:
+                if not may_change[row]:
+                    continue
+                mask = changed[:, row]
+                if fanout_rows.size:
+                    mask = mask | dirty[:, fanout_rows].any(axis=1)
+                lanes = np.flatnonzero(mask)
+                active = lanes.size
+                if active == 0:
+                    continue
+
+            load = k.WIRE_CAP_PER_FANOUT_FF * max(1, len(fanouts))
+            loadv = np.full(active, load)
+            vdd_floor = np.zeros(active)
+            for successor in fanouts:
+                if lanes is None:
+                    loadv += input_cap[:, successor]
+                    np.maximum(vdd_floor, vdd[:, successor], out=vdd_floor)
+                else:
+                    loadv += input_cap[lanes, successor]
+                    np.maximum(vdd_floor, vdd[lanes, successor], out=vdd_floor)
+            if is_output:
+                loadv += k.LATCH_CAP_FF
+
+            ramp = float(ramp_row[row])
+            delays = (
+                arrays.slope[np.newaxis, :]
+                * (arrays.self_cap[np.newaxis, :] + loadv[:, np.newaxis])
+                + k.RAMP_DELAY_FRACTION * ramp
+            )
+            row_targets = (
+                targets[:, row] if lanes is None else targets[lanes, row]
+            )
+            error = np.abs(delays - row_targets[:, np.newaxis])
+            frugality = arrays.frugality(
+                energy_weight_ps_per_fj, area_weight_ps, leakage_weight_ps_per_uw
+            )
+            # Fast path for the common no-constraint case: when every
+            # cell clears the VDD floor (floor at or below the library
+            # minimum), the eligibility mask is all-true and score ==
+            # error + frugality outright — same values, fewer kernels.
+            if float(vdd_floor.max(initial=0.0)) - 1e-12 <= arrays.vdd_min:
+                score = error + frugality[np.newaxis, :]
+                if anchor_row is not None and anchor_row[row] >= 0:
+                    score[:, int(anchor_row[row])] -= anchor_bonus_ps
+            else:
+                eligible = (
+                    arrays.vdd[np.newaxis, :] >= vdd_floor[:, np.newaxis] - 1e-12
+                )
+                if not eligible.any(axis=1).all():
+                    raise OptimizationError(
+                        f"no library cell satisfies the VDD floor for gate "
+                        f"{name!r}; extend the library's VDD menu"
+                    )
+                score = np.where(
+                    eligible, error + frugality[np.newaxis, :], np.inf
+                )
+                if anchor_row is not None and anchor_row[row] >= 0:
+                    a_idx = int(anchor_row[row])
+                    bonus_lanes = eligible[:, a_idx]
+                    score[bonus_lanes, a_idx] -= anchor_bonus_ps
+            best = np.argmin(score, axis=1)
+
+            if lanes is None:
+                cell_idx[:, row] = best
+                input_cap[:, row] = arrays.input_cap[best]
+                vdd[:, row] = arrays.vdd[best]
+            else:
+                previous = cell_idx[lanes, row]
+                cell_idx[lanes, row] = best
+                input_cap[lanes, row] = arrays.input_cap[best]
+                vdd[lanes, row] = arrays.vdd[best]
+                dirty[lanes, row] = best != previous
+
+        return BatchMatchState(
+            cells=cells, cell_idx=cell_idx, input_cap=input_cap, vdd=vdd
+        )
+
+    def match_with_timing_batch(
+        self,
+        targets: np.ndarray,
+        input_ramps,
+        max_delay_ps: float,
+        anchor: ParameterAssignment | None = None,
+        repair_rounds: int = 3,
+        reference: tuple[np.ndarray, BatchMatchState] | None = None,
+    ) -> BatchMatchState:
+        """:meth:`match_with_timing` for a population of target vectors.
+
+        Lane ``b`` reproduces the serial flow exactly: the realized
+        delays the repair consults come from the batched continuous
+        model (bitwise equal to the scalar ``use_tables=False``
+        annotation), timing via the batched STA, and the
+        shrink-negative-slack update applies the same expressions — so
+        the per-round convergence decisions, and therefore the final
+        cells, are identical per lane.  ``reference`` is an optional
+        ``(ref_targets, ref_state)`` pair enabling the round-0 delta
+        fast path; repair rematches always run delta-style against the
+        lane's own previous round.
+        """
+        if max_delay_ps <= 0.0:
+            raise OptimizationError(
+                f"max_delay_ps must be > 0, got {max_delay_ps}"
+            )
+        idx = self.circuit.indexed()
+        targets = np.array(targets, dtype=np.float64)
+        if reference is not None:
+            ref_targets, ref_state = reference
+            state = self.match_batch(
+                targets,
+                input_ramps,
+                anchor,
+                reference=ref_state,
+                changed=targets != np.asarray(ref_targets)[np.newaxis, :],
+            )
+        else:
+            state = self.match_batch(targets, input_ramps, anchor)
+
+        gate_row_mask = np.zeros(idx.n_signals, dtype=bool)
+        gate_row_mask[idx.gate_rows] = True
+        active = np.ones(targets.shape[0], dtype=bool)
+        for __r in range(repair_rounds):
+            lanes = np.flatnonzero(active)
+            if lanes.size == 0:
+                break
+            realized = continuous_delay_arrays(
+                self.circuit, state.param_arrays(lanes)
+            )["delay_ps"]
+            timing = analyze_timing_batch(idx, realized)
+            ok = timing.delay_ps <= max_delay_ps * 1.001
+            active[lanes[ok]] = False
+            if ok.all():
+                break
+            rem = ~ok
+            sub = lanes[rem]
+            scale = max_delay_ps / timing.delay_ps[rem]
+            slack_vs_cap = (
+                timing.required_ps[rem] - timing.arrival_ps[rem]
+                + max_delay_ps
+                - timing.delay_ps[rem][:, np.newaxis]
+            )
+            shrunk = realized[rem] * scale[:, np.newaxis]
+            update = (
+                (slack_vs_cap < 0.0)
+                & (shrunk < targets[sub])
+                & gate_row_mask[np.newaxis, :]
+            )
+            adjusted = update.any(axis=1)
+            active[sub[~adjusted]] = False
+            moving = sub[adjusted]
+            if moving.size == 0:
+                break
+            targets[moving] = np.where(
+                update[adjusted], shrunk[adjusted], targets[moving]
+            )
+            partial = self.match_batch(
+                targets[moving],
+                input_ramps,
+                anchor,
+                reference=BatchMatchState(
+                    cells=state.cells,
+                    cell_idx=state.cell_idx[moving],
+                    input_cap=state.input_cap[moving],
+                    vdd=state.vdd[moving],
+                ),
+                changed=update[adjusted],
+            )
+            state.cell_idx[moving] = partial.cell_idx
+            state.input_cap[moving] = partial.input_cap
+            state.vdd[moving] = partial.vdd
+        return state
+
     def _match_once(
         self,
         target_delays: Mapping[str, float],
@@ -225,19 +615,12 @@ class MatchingEngine:
                     f"gate {name!r}; extend the library's VDD menu"
                 )
             error = np.abs(delays - float(target))
-            dynamic_proxy = (arrays.self_cap + arrays.input_cap) * arrays.vdd**2
-            frugality = (
-                energy_weight_ps_per_fj * dynamic_proxy
-                + area_weight_ps * arrays.area
-                + leakage_weight_ps_per_uw * arrays.leak_uw
+            frugality = arrays.frugality(
+                energy_weight_ps_per_fj, area_weight_ps, leakage_weight_ps_per_uw
             )
             score = np.where(eligible, error + frugality, np.inf)
             if anchor is not None:
-                anchor_cell = anchor[name]
-                try:
-                    anchor_index = arrays.cells.index(anchor_cell)
-                except ValueError:
-                    anchor_index = -1
+                anchor_index = arrays.cell_pos.get(anchor[name], -1)
                 if anchor_index >= 0 and eligible[anchor_index]:
                     score[anchor_index] -= anchor_bonus_ps
             best = int(np.argmin(score))

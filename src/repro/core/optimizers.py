@@ -24,6 +24,17 @@ from repro.errors import OptimizationError
 
 Objective = Callable[[np.ndarray], float]
 
+#: The batched-objective protocol: ``objective_batch(X, base=None)``
+#: takes a ``(B, D)`` stack of candidate points and returns their
+#: ``(B,)`` objective values.  ``base`` is an optional hint — the point
+#: the candidates were derived from (the current search iterate) — that
+#: lets implementations run delta-aware evaluation (SERTOPT's batched
+#: matcher rescores only the gates a probe can actually move).  The
+#: values must equal what the scalar objective returns for the same
+#: points; drivers are free to evaluate speculatively, so implementations
+#: must not count calls — the driver owns the evaluation budget.
+BatchObjective = Callable[..., np.ndarray]
+
 
 @dataclass
 class OptimizeResult:
@@ -63,6 +74,26 @@ class _CountingObjective:
             self.best_x = np.array(x, dtype=np.float64)
         return value
 
+    def record(self, x: np.ndarray, value: float) -> float:
+        """Consume one precomputed evaluation against the budget.
+
+        The batched drivers evaluate populations speculatively and then
+        *replay* them in serial order; each replayed point passes
+        through here so ``evaluations``/``history``/best-point tracking
+        are exactly what the scalar driver would have produced.  At an
+        exhausted budget the value is discarded and the best value is
+        returned, mirroring ``__call__``.
+        """
+        if self.evaluations >= self.max_evaluations:
+            return self.best_value
+        self.evaluations += 1
+        value = float(value)
+        self.history.append(value)
+        if value < self.best_value:
+            self.best_value = value
+            self.best_x = np.array(x, dtype=np.float64)
+        return value
+
 
 def minimize_slsqp(
     objective: Objective,
@@ -70,22 +101,63 @@ def minimize_slsqp(
     bounds_halfwidth: float,
     max_evaluations: int = 400,
     fd_step: float = 2.0,
+    objective_batch: BatchObjective | None = None,
 ) -> OptimizeResult:
     """SQP (scipy SLSQP) with a coarse finite-difference step.
 
     ``fd_step`` should be of the order of the delay quantum between
     adjacent library cells (a few ps) so numerical gradients see the
     discrete structure rather than a flat plateau.
+
+    With ``objective_batch``, the finite-difference gradient is supplied
+    as an explicit ``jac``: the ``D + 1`` points of each gradient step
+    (the iterate plus one forward probe per dimension) are evaluated in
+    a single population call instead of scipy probing them one scalar
+    call at a time.  The budget charge per step stays ``D + 1`` — the
+    iterate through scipy's ``fun`` call, the ``D`` probes through the
+    replay — matching the scalar driver's accounting.
     """
     x0 = np.asarray(x0, dtype=np.float64)
     counter = _CountingObjective(objective, max_evaluations)
     counter(x0)
     bounds = [(-bounds_halfwidth, bounds_halfwidth)] * x0.size
+    jac = None
+    if objective_batch is not None:
+
+        def jac(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=np.float64)
+            # Forward difference, flipped to backward where the forward
+            # probe would leave the box — scipy's own bounded FD never
+            # evaluates outside the declared bounds, and neither may we.
+            steps = np.where(
+                x + fd_step <= bounds_halfwidth, fd_step, -fd_step
+            )
+            points = np.concatenate(
+                (x[np.newaxis, :], x[np.newaxis, :] + np.diag(steps))
+            )
+            values = objective_batch(points, base=x)
+            # The iterate itself was already counted by scipy's fun(x)
+            # call; its batch value (a cache hit for well-behaved
+            # objectives) only anchors the differences — recording it
+            # again would charge D+2 budget units for D+1 points.
+            f0 = float(values[0])
+            grad = np.empty(x.size)
+            for dim in range(x.size):
+                grad[dim] = (
+                    counter.record(points[dim + 1], values[dim + 1]) - f0
+                ) / steps[dim]
+            if counter.evaluations >= counter.max_evaluations:
+                # Budget exhausted mid-gradient: report a flat landscape
+                # so SLSQP stops moving instead of chasing stale values.
+                grad[:] = 0.0
+            return grad
+
     try:
         minimize(
             counter,
             x0,
             method="SLSQP",
+            jac=jac,
             bounds=bounds,
             options={
                 "maxiter": max(1, max_evaluations // (x0.size + 2)),
@@ -115,13 +187,32 @@ def minimize_annealing(
     seed: int = 0,
     initial_step: float | None = None,
     initial_temperature: float | None = None,
+    objective_batch: BatchObjective | None = None,
+    batch_size: int = 12,
 ) -> OptimizeResult:
-    """Simulated annealing with geometric cooling and step shrinking."""
+    """Simulated annealing with geometric cooling and step shrinking.
+
+    With ``objective_batch``, proposals are drawn and scored as
+    *populations*: up to ``batch_size`` proposals are generated around
+    the current point (with the same sparse-move distribution), one
+    population call evaluates them, and the Metropolis accept/reject
+    sequence replays them in draw order — each proposal counts exactly
+    one evaluation, so the budget and best-point semantics are those of
+    the scalar loop.  The walk itself is a population variant (later
+    proposals of a round are centred on the round's entry point rather
+    than on each other), which is a standard annealing batch scheme —
+    the method is stochastic either way.
+    """
     x0 = np.asarray(x0, dtype=np.float64)
     counter = _CountingObjective(objective, max_evaluations)
     rng = random.Random(seed)
     current_x = x0.copy()
-    current_value = counter(current_x)
+    if objective_batch is not None:
+        current_value = counter.record(
+            current_x, float(objective_batch(current_x[np.newaxis, :])[0])
+        )
+    else:
+        current_value = counter(current_x)
     step = initial_step if initial_step is not None else bounds_halfwidth / 4.0
     temperature = (
         initial_temperature
@@ -129,7 +220,8 @@ def minimize_annealing(
         else max(abs(current_value) * 0.02, 1e-6)
     )
     cooling = 0.96
-    while counter.evaluations < max_evaluations:
+
+    def draw_proposal() -> np.ndarray:
         # Sparse moves: perturb a few coordinates, not the whole vector —
         # full-dimension Gaussian steps in a 20+-dimensional nullspace
         # are almost always ruinous and waste the evaluation budget.
@@ -138,15 +230,31 @@ def minimize_annealing(
         for dim in rng.sample(range(x0.size), active):
             proposal[dim] += rng.gauss(0.0, step)
         np.clip(proposal, -bounds_halfwidth, bounds_halfwidth, out=proposal)
-        value = counter(proposal)
-        accept = value <= current_value or (
-            temperature > 0.0
-            and rng.random() < math.exp((current_value - value) / temperature)
-        )
-        if accept:
-            current_x, current_value = proposal, value
-        temperature *= cooling
-        step = max(step * 0.995, bounds_halfwidth / 50.0)
+        return proposal
+
+    while counter.evaluations < max_evaluations:
+        if objective_batch is None:
+            proposal = draw_proposal()
+            value = counter(proposal)
+            pending = [(proposal, value)]
+        else:
+            count = min(batch_size, max_evaluations - counter.evaluations)
+            proposals = [draw_proposal() for __ in range(count)]
+            values = objective_batch(np.stack(proposals), base=current_x)
+            pending = [
+                (proposal, counter.record(proposal, value))
+                for proposal, value in zip(proposals, values)
+            ]
+        for proposal, value in pending:
+            accept = value <= current_value or (
+                temperature > 0.0
+                and rng.random()
+                < math.exp((current_value - value) / temperature)
+            )
+            if accept:
+                current_x, current_value = proposal, value
+            temperature *= cooling
+            step = max(step * 0.995, bounds_halfwidth / 50.0)
     assert counter.best_x is not None
     return OptimizeResult(
         x=counter.best_x,
@@ -164,10 +272,34 @@ def minimize_coordinate(
     max_evaluations: int = 400,
     seed: int = 0,
     step_schedule: Sequence[float] = (0.5, 0.25, 0.1),
+    objective_batch: BatchObjective | None = None,
+    batch_chunk: int = 8,
 ) -> OptimizeResult:
     """Stochastic coordinate descent: probe +-step along one coordinate
-    at a time, keeping improvements; steps shrink per sweep schedule."""
+    at a time, keeping improvements; steps shrink per sweep schedule.
+
+    With ``objective_batch``, the +-delta probes of a sweep — all
+    derived from the same current point, hence independent until one is
+    accepted — are evaluated as populations of up to ``batch_chunk``
+    coordinates and *replayed* in serial order against the budget.  On
+    an acceptance the not-yet-replayed speculative values are discarded
+    (they were probed from the superseded point) and the sweep resumes
+    from the new point, so the visited points, the evaluation count,
+    the history and the returned optimum are identical to the scalar
+    driver's — only the wall-clock differs.
+    """
     x0 = np.asarray(x0, dtype=np.float64)
+    if objective_batch is not None:
+        return _minimize_coordinate_batched(
+            objective,
+            objective_batch,
+            x0,
+            bounds_halfwidth,
+            max_evaluations,
+            seed,
+            step_schedule,
+            batch_chunk,
+        )
     counter = _CountingObjective(objective, max_evaluations)
     rng = random.Random(seed)
     current_x = x0.copy()
@@ -202,6 +334,82 @@ def minimize_coordinate(
     )
 
 
+def _minimize_coordinate_batched(
+    objective: Objective,
+    objective_batch: BatchObjective,
+    x0: np.ndarray,
+    bounds_halfwidth: float,
+    max_evaluations: int,
+    seed: int,
+    step_schedule: Sequence[float],
+    batch_chunk: int,
+) -> OptimizeResult:
+    """The population-evaluated twin of the scalar coordinate loop."""
+    if batch_chunk < 1:
+        raise OptimizationError(f"batch_chunk must be >= 1, got {batch_chunk}")
+    counter = _CountingObjective(objective, max_evaluations)
+    rng = random.Random(seed)
+    current_x = x0.copy()
+    current_value = counter.record(
+        current_x, float(objective_batch(current_x[np.newaxis, :])[0])
+    )
+    dims = list(range(x0.size))
+    for fraction in step_schedule:
+        step = bounds_halfwidth * fraction
+        rng.shuffle(dims)
+        position = 0
+        while position < len(dims):
+            if counter.evaluations >= max_evaluations:
+                break
+            chunk_dims = dims[position : position + batch_chunk]
+            probes: list[np.ndarray] = []
+            for dim in chunk_dims:
+                for direction in (1.0, -1.0):
+                    probe = current_x.copy()
+                    probe[dim] = float(
+                        np.clip(
+                            probe[dim] + direction * step,
+                            -bounds_halfwidth,
+                            bounds_halfwidth,
+                        )
+                    )
+                    probes.append(probe)
+            values = objective_batch(np.stack(probes), base=current_x)
+            accepted = False
+            for j in range(len(chunk_dims)):
+                if counter.evaluations >= max_evaluations:
+                    # The scalar loop breaks out of the dim sweep here
+                    # (the while condition re-checks and ends the sweep).
+                    position = len(dims)
+                    break
+                for d_i in (0, 1):
+                    probe_index = 2 * j + d_i
+                    value = counter.record(
+                        probes[probe_index], values[probe_index]
+                    )
+                    if value < current_value:
+                        current_x = probes[probe_index]
+                        current_value = value
+                        accepted = True
+                        break
+                if accepted:
+                    # Later speculative probes were derived from the
+                    # superseded point — discard them (uncounted) and
+                    # resume the sweep from the accepted point.
+                    position += j + 1
+                    break
+            else:
+                position += len(chunk_dims)
+    assert counter.best_x is not None
+    return OptimizeResult(
+        x=counter.best_x,
+        value=counter.best_value,
+        evaluations=counter.evaluations,
+        history=counter.history,
+        method="coordinate",
+    )
+
+
 OPTIMIZERS: dict[str, Callable[..., OptimizeResult]] = {
     "slsqp": minimize_slsqp,
     "annealing": minimize_annealing,
@@ -216,8 +424,16 @@ def run_optimizer(
     bounds_halfwidth: float,
     max_evaluations: int,
     seed: int = 0,
+    objective_batch: BatchObjective | None = None,
 ) -> OptimizeResult:
-    """Dispatch to a registered optimizer by name."""
+    """Dispatch to a registered optimizer by name.
+
+    ``objective_batch`` (see :data:`BatchObjective`) enables population
+    evaluation: the coordinate driver batches the independent +-delta
+    probes of each sweep (visiting *identical* points on an identical
+    budget), annealing scores proposal populations, and SLSQP evaluates
+    its finite-difference gradient points in one call.
+    """
     try:
         driver = OPTIMIZERS[method]
     except KeyError:
@@ -225,5 +441,11 @@ def run_optimizer(
             f"unknown optimizer {method!r}; choose from {sorted(OPTIMIZERS)}"
         ) from None
     if method == "slsqp":
-        return driver(objective, x0, bounds_halfwidth, max_evaluations)
-    return driver(objective, x0, bounds_halfwidth, max_evaluations, seed=seed)
+        return driver(
+            objective, x0, bounds_halfwidth, max_evaluations,
+            objective_batch=objective_batch,
+        )
+    return driver(
+        objective, x0, bounds_halfwidth, max_evaluations, seed=seed,
+        objective_batch=objective_batch,
+    )

@@ -63,6 +63,17 @@ class SertoptConfig:
     coefficient_bound_ps: float = 300.0
     #: Seed for path sampling and stochastic optimizers.
     seed: int = 0
+    #: Evaluate candidate populations through the batched array pipeline
+    #: (matching, electrical annotation, masking sweep and Equation-5
+    #: metrics all stacked over a candidate axis).  The default
+    #: ``"coordinate"`` driver visits identical points and returns an
+    #: identical :class:`OptimizeResult` either way; the stochastic
+    #: ``"annealing"`` driver takes a *different* (population-based)
+    #: seeded walk when batched, and ``"slsqp"`` computes its gradient
+    #: from an explicitly batched finite difference — pin
+    #: ``batched_evaluation=False`` to reproduce pre-batching seeded
+    #: runs of those two drivers (also the benchmark baseline).
+    batched_evaluation: bool = True
     #: ASERTA settings used inside the cost loop.
     aserta: AsertaConfig = field(default_factory=AsertaConfig)
 
@@ -108,6 +119,119 @@ class SertoptResult:
 
     def vths_used(self) -> tuple[float, ...]:
         return self.optimized_assignment.distinct_vths()
+
+
+class _BatchedObjective:
+    """Population form of the SERTOPT objective.
+
+    Implements the :data:`repro.core.optimizers.BatchObjective`
+    protocol: a ``(B, D)`` stack of nullspace coefficient vectors maps
+    to delay-target vectors (the exact per-candidate arithmetic of
+    ``DelaySpace.assigned_delays``), is matched as one batch —
+    delta-aware against the round-0 match of the ``base`` iterate when
+    the driver supplies one — and is costed through
+    :meth:`CostEvaluator.evaluate_batch`, which rides the analyzer's
+    ``analyze_many`` array pass.  Values are cached under the same
+    rounded-coefficient keys as the serial objective, so speculative
+    driver probes never recompute a visited point.
+    """
+
+    #: Round-0 reference matches memoized per base point.
+    _MAX_REFS = 8
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        space: DelaySpace,
+        engine: MatchingEngine,
+        evaluator: CostEvaluator,
+        ramps: dict[str, float],
+        repair_cap_ps: float,
+        baseline: ParameterAssignment,
+    ) -> None:
+        self.space = space
+        self.engine = engine
+        self.evaluator = evaluator
+        self.repair_cap_ps = repair_cap_ps
+        self.baseline = baseline
+        indexed = circuit.indexed()
+        self.n_signals = indexed.n_signals
+        self.space_rows = np.array(
+            [indexed.index[name] for name in space.gate_order], dtype=np.int64
+        )
+        self.ramp_row = engine._ramp_row(ramps)
+        self.cache: dict[bytes, float] = {}
+        self._references: dict[bytes, tuple[np.ndarray, object]] = {}
+
+    @staticmethod
+    def _key(x: np.ndarray) -> bytes:
+        return np.round(x, 4).tobytes()
+
+    def _target_row(self, x: np.ndarray) -> np.ndarray:
+        """Dense per-row delay targets for one coefficient vector —
+        bitwise the values of ``space.assigned_delays(x)``."""
+        from repro.core.delay_assignment import MIN_DELAY_PS
+
+        vector = np.maximum(
+            self.space.base + self.space.delta(x), MIN_DELAY_PS
+        )
+        out = np.zeros(self.n_signals)
+        out[self.space_rows] = vector
+        return out
+
+    def _reference(self, base: np.ndarray):
+        key = self._key(np.asarray(base, dtype=np.float64))
+        ref = self._references.get(key)
+        if ref is None:
+            targets = self._target_row(np.asarray(base, dtype=np.float64))
+            state = self.engine.match_batch(
+                targets[np.newaxis, :], self.ramp_row, anchor=self.baseline
+            )
+            ref = (targets, state)
+            if len(self._references) >= self._MAX_REFS:
+                self._references.pop(next(iter(self._references)))
+            self._references[key] = ref
+        return ref
+
+    def single(self, x: np.ndarray) -> float:
+        """Scalar objective routed through the batched pipeline, so
+        every value a batched search consumes comes from one code path."""
+        return float(self(np.asarray(x, dtype=np.float64)[np.newaxis, :])[0])
+
+    def __call__(
+        self, X: np.ndarray, base: np.ndarray | None = None
+    ) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        values = np.empty(X.shape[0])
+        lanes_by_key: dict[bytes, list[int]] = {}
+        for lane in range(X.shape[0]):
+            lanes_by_key.setdefault(self._key(X[lane]), []).append(lane)
+        pending: list[tuple[bytes, list[int]]] = []
+        for key, lanes in lanes_by_key.items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                values[lanes] = cached
+            else:
+                pending.append((key, lanes))
+        if pending:
+            targets = np.stack(
+                [self._target_row(X[lanes[0]]) for __, lanes in pending]
+            )
+            reference = self._reference(base) if base is not None else None
+            state = self.engine.match_with_timing_batch(
+                targets,
+                self.ramp_row,
+                self.repair_cap_ps,
+                anchor=self.baseline,
+                reference=reference,
+            )
+            totals = self.evaluator.evaluate_batch(
+                params=state.param_arrays()
+            )
+            for (key, lanes), value in zip(pending, totals):
+                self.cache[key] = float(value)
+                values[lanes] = value
+        return values
 
 
 class Sertopt:
@@ -204,6 +328,21 @@ class Sertopt:
             cache[key] = value
             return value
 
+        objective_batch = None
+        # The population pipeline needs the stacked-LUT table path; the
+        # continuous-model analyzer (use_tables=False) and gate-less
+        # circuits keep the serial objective, which supports both.
+        can_batch = (
+            self.analyzer.config.use_tables
+            and bool(self.circuit.indexed().group_pairs)
+        )
+        if config.batched_evaluation and can_batch:
+            objective_batch = _BatchedObjective(
+                self.circuit, space, engine, evaluator,
+                ramps, repair_cap_ps, baseline,
+            )
+            objective = objective_batch.single
+
         x0 = np.zeros(space.dimension)
         search = run_optimizer(
             config.optimizer,
@@ -212,6 +351,7 @@ class Sertopt:
             bounds_halfwidth=config.coefficient_bound_ps,
             max_evaluations=config.max_evaluations,
             seed=config.seed,
+            objective_batch=objective_batch,
         )
 
         best_assignment = engine.match_with_timing(

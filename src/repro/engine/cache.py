@@ -62,6 +62,8 @@ class CacheStats:
     disk_writes: int = 0
     #: Entries dropped by the LRU bound.
     evictions: int = 0
+    #: On-disk artifacts deleted by the ``max_disk_bytes`` budget.
+    disk_evictions: int = 0
     #: Per-kind hit/miss counts, keyed by artifact kind.
     by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
 
@@ -78,6 +80,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
             "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
         }
 
@@ -94,17 +97,33 @@ class ArtifactCache:
     write.  The disk tier only ever sees array-valued artifacts stored
     through :meth:`get_or_build_arrays` — live Python objects stay
     in-memory only.
+
+    ``max_disk_bytes`` bounds the disk tier: after every write the
+    least-recently-used artifacts (by file mtime; disk hits refresh it)
+    are deleted until the tier fits the budget.  Deletion is tolerant of
+    concurrent evictors — a file that vanishes mid-scan is simply
+    someone else's eviction, not an error — so many processes can share
+    one capped directory.  ``None`` (the default) keeps the historical
+    unbounded behaviour.
     """
 
     def __init__(
         self,
         max_entries: int = 128,
         cache_dir: str | os.PathLike | None = None,
+        max_disk_bytes: int | None = None,
     ) -> None:
         if max_entries < 1:
             raise EngineError(f"max_entries must be >= 1, got {max_entries}")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise EngineError(
+                f"max_disk_bytes must be >= 1, got {max_disk_bytes}"
+            )
+        if max_disk_bytes is not None and cache_dir is None:
+            raise EngineError("max_disk_bytes needs a cache_dir to bound")
         self.max_entries = max_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_disk_bytes = max_disk_bytes
         self.stats = CacheStats()
         self._entries: OrderedDict[str, Any] = OrderedDict()
 
@@ -208,6 +227,44 @@ class ArtifactCache:
                 pass
             raise
         self.stats.disk_writes += 1
+        self._enforce_disk_budget(keep=path)
+
+    def _enforce_disk_budget(self, keep: Path | None = None) -> None:
+        """Delete LRU artifacts until the disk tier fits the budget.
+
+        ``keep`` (the artifact just written) is never evicted — a cache
+        whose budget is smaller than one artifact degrades to "latest
+        only" rather than thrashing itself empty.  Missing files during
+        the scan or the unlink are tolerated: with several processes
+        sharing a directory, a concurrent eviction (or an atomic
+        replace) may remove a file first.
+        """
+        if self.max_disk_bytes is None or self.cache_dir is None:
+            return
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.cache_dir.glob("v*/*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for __, size, __p in entries)
+        entries.sort()  # oldest mtime first
+        for __, size, path in entries:
+            if total <= self.max_disk_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass  # already gone: a concurrent evictor beat us to it
+            except OSError:
+                # Deletion genuinely failed (permissions, read-only FS):
+                # the bytes are still there, so don't pretend otherwise.
+                continue
+            total -= size
+            self.stats.disk_evictions += 1
 
     def get_or_build_arrays(
         self, key: str, build: Callable[[], dict[str, np.ndarray]]
@@ -231,6 +288,12 @@ class ArtifactCache:
             self.stats.disk_hits += 1
             self.stats.hits += 1
             self.stats._bump(_kind_of(key), "hits")
+            if self.max_disk_bytes is not None:
+                path = self._path_for(key)
+                try:
+                    os.utime(path)  # refresh LRU recency on a disk hit
+                except OSError:
+                    pass
             _freeze(loaded)
             self.put(key, loaded)
             return loaded

@@ -59,6 +59,7 @@ class AnalysisEngine:
         cache_dir: str | os.PathLike | None = None,
         structural: str = "batched",
         max_entries: int = 128,
+        max_disk_bytes: int | None = None,
     ) -> None:
         if structural not in STRUCTURAL_ENGINES:
             raise EngineError(
@@ -67,10 +68,19 @@ class AnalysisEngine:
             )
         if cache is not None and cache_dir is not None:
             raise EngineError("pass either cache or cache_dir, not both")
+        if cache is not None and max_disk_bytes is not None:
+            raise EngineError(
+                "max_disk_bytes configures the engine-owned cache; set it "
+                "on the ArtifactCache when passing one in"
+            )
         self.cache = (
             cache
             if cache is not None
-            else ArtifactCache(max_entries=max_entries, cache_dir=cache_dir)
+            else ArtifactCache(
+                max_entries=max_entries,
+                cache_dir=cache_dir,
+                max_disk_bytes=max_disk_bytes,
+            )
         )
         self.structural = structural
         #: Fault simulations actually executed (not served from cache).

@@ -46,6 +46,14 @@ DEFAULT_MAX_BLOCK_BYTES = 1 << 27
 #: Hard cap on sites per block (beyond this, gather sizes stop helping).
 MAX_BLOCK_SITES = 256
 
+#: Active-(site, gate) pair density below which a (level, group)
+#: evaluation switches from the dense ``(sites, gates)`` rectangle to
+#: gathered per-pair evaluation.  On wide circuits most gates of a
+#: level sit outside most sites' fanout cones, so the rectangle wastes
+#: word-ops on pairs whose delta is provably zero; near-dense groups
+#: keep the rectangle (contiguous gathers beat fancy indexing there).
+SITE_MASK_MAX_DENSITY = 0.5
+
 
 class CompiledStructuralCircuit:
     """Assignment- and protocol-independent simulation schedule.
@@ -117,6 +125,23 @@ class CompiledStructuralCircuit:
         site_rows = np.arange(start, stop, dtype=np.int64)
         touched[site_rows, self.bit_word[site_rows]] &= ~self.bit_mask[site_rows]
         return touched.any(axis=1)
+
+    def site_matrix(self, start: int, stop: int, rows: np.ndarray) -> np.ndarray:
+        """Per-row active-site mask: ``(S, len(rows))`` booleans, true
+        where site ``start + s`` reaches gate ``rows[g]``.
+
+        A site that cannot reach a gate leaves every fan-in delta at
+        zero, so the faulty evaluation reproduces the base value — the
+        (site, gate) pair is provably a no-op.  The site's *own* row is
+        excluded (its lane stays pinned to the complement), matching
+        :meth:`candidates`.
+        """
+        site_rows = np.arange(start, stop, dtype=np.int64)
+        words = self.reach[rows][:, self.bit_word[site_rows]]
+        bits = (words >> (site_rows.astype(np.uint64) & np.uint64(63))) & np.uint64(1)
+        mask = bits.astype(bool).T
+        mask &= rows[np.newaxis, :] != site_rows[:, np.newaxis]
+        return mask
 
 
 def pick_block_sites(
@@ -192,12 +217,37 @@ def structural_matrix_batched(
                 rows_active = rows[active]
                 fanins = fanin_matrix[active]
                 gtype = idx.gtypes[rows_active[0]]
-                words = [
-                    base[fanins[:, t]] ^ delta[:, fanins[:, t]]
-                    for t in range(fanins.shape[1])
-                ]
-                faulty = evaluate_words(gtype, words)
-                delta[:, rows_active] = (faulty ^ base[rows_active]) & mask
+                pair_mask = compiled.site_matrix(start, stop, rows_active)
+                # A (site, gate) pair with no reachability is a no-op
+                # (the delta stays zero either way); when such pairs
+                # dominate, evaluate only the live ones.  Both branches
+                # compute identical values for every live pair, so the
+                # result is bit-identical.
+                if (
+                    stop - start > 1
+                    and pair_mask.mean() <= SITE_MASK_MAX_DENSITY
+                ):
+                    s_idx, g_idx = np.nonzero(pair_mask)
+                    if s_idx.size == 0:
+                        continue
+                    pair_fanins = fanins[g_idx]
+                    words = [
+                        base[pair_fanins[:, t]]
+                        ^ delta[s_idx, pair_fanins[:, t]]
+                        for t in range(pair_fanins.shape[1])
+                    ]
+                    faulty = evaluate_words(gtype, words)
+                    target_rows = rows_active[g_idx]
+                    delta[s_idx, target_rows] = (
+                        faulty ^ base[target_rows]
+                    ) & mask
+                else:
+                    words = [
+                        base[fanins[:, t]] ^ delta[:, fanins[:, t]]
+                        for t in range(fanins.shape[1])
+                    ]
+                    faulty = evaluate_words(gtype, words)
+                    delta[:, rows_active] = (faulty ^ base[rows_active]) & mask
             # Sites whose row sits at this level were just re-evaluated
             # under *other* faults; restore their own-lane pin.
             pins = site_rows[site_levels == level]

@@ -16,8 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.circuit.netlist import Circuit
 from repro.logicsim.probability import switching_activities
+from repro.tech import constants as k
 from repro.tech.electrical_view import CircuitElectrical
 
 
@@ -59,3 +62,34 @@ def circuit_energy(
         per_gate_dynamic_fj=per_dynamic,
         per_gate_static_fj=per_static,
     )
+
+
+def activity_row(indexed, probabilities: Mapping[str, float]) -> np.ndarray:
+    """Dense per-row switching activities (zero on rows without one)."""
+    return indexed.gather(switching_activities(probabilities))
+
+
+def circuit_energy_batch(
+    indexed,
+    arrays: Mapping[str, np.ndarray],
+    activities: np.ndarray,
+    clock_period_ps: float = k.CLOCK_PERIOD_PS,
+) -> np.ndarray:
+    """Per-candidate total energy (dynamic + static), fJ, ``(B,)``.
+
+    ``arrays`` carries the batched electrical annotation
+    (``node_cap_ff``, ``vdd``, ``static_power_uw`` as ``(B, V)``);
+    ``activities`` comes from :func:`activity_row`.  Totals match
+    :func:`circuit_energy` to float-reassociation (the dense reductions
+    sum in row order rather than dict order).
+    """
+    rows = indexed.gate_rows
+    vdd = arrays["vdd"][:, rows]
+    dynamic = (
+        activities[rows][np.newaxis, :]
+        * (arrays["node_cap_ff"][:, rows] * vdd * vdd)
+    ).sum(axis=1)
+    static = (
+        arrays["static_power_uw"][:, rows] * clock_period_ps / 1000.0
+    ).sum(axis=1)
+    return dynamic + static

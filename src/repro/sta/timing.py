@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 
@@ -71,6 +73,94 @@ def analyze_timing(
         arrival_ps=arrival,
         required_ps=required,
         delay_ps=circuit_delay,
+    )
+
+
+@dataclass(frozen=True)
+class BatchTimingReport:
+    """Dense timing facts for a population of delay annotations.
+
+    Rows of every array follow ``circuit.indexed()`` order; lane ``b``
+    equals :func:`analyze_timing` of delay vector ``b`` exactly (max and
+    min over floats are exact, so the level-batched reductions introduce
+    no rounding differences versus the dict walk).
+    """
+
+    arrival_ps: np.ndarray  #: ``(B, V)``
+    required_ps: np.ndarray  #: ``(B, V)``
+    delay_ps: np.ndarray  #: ``(B,)`` circuit delays
+
+    def slack_ps(self) -> np.ndarray:
+        """``(B, V)`` slack per signal (meaningful on gate rows)."""
+        return self.required_ps - self.arrival_ps
+
+
+def _ragged_segments(ptr: np.ndarray, rows: np.ndarray):
+    """Flattened CSR segment indices + segment starts for ``rows``."""
+    counts = ptr[rows + 1] - ptr[rows]
+    present = counts > 0
+    rows = rows[present]
+    counts = counts[present]
+    if rows.size == 0:
+        return rows, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat = np.repeat(ptr[rows] - starts, counts) + np.arange(
+        int(counts.sum()), dtype=np.int64
+    )
+    return rows, flat, starts
+
+
+def analyze_timing_batch(indexed, delays: np.ndarray) -> BatchTimingReport:
+    """Longest-path analysis for ``(B, V)`` per-row delay vectors.
+
+    The level-synchronized batched form of :func:`analyze_timing`:
+    arrival times sweep forward one logic level at a time (max over
+    fan-ins via ``reduceat``), required times sweep backward, and every
+    lane's numbers are exactly those of the scalar walk.
+    """
+    delays = np.asarray(delays, dtype=np.float64)
+    if delays.ndim != 2 or delays.shape[1] != indexed.n_signals:
+        raise AnalysisError(
+            f"expected (B, {indexed.n_signals}) delays, got {delays.shape}"
+        )
+    if np.any(delays[:, indexed.gate_rows] < 0.0):
+        raise AnalysisError("negative delay in batched timing analysis")
+    n_lanes = delays.shape[0]
+    levels = indexed.level
+    gate_rows = indexed.gate_rows
+    gate_levels = levels[gate_rows]
+
+    arrival = np.zeros((n_lanes, indexed.n_signals))
+    for level in np.unique(gate_levels):
+        rows = gate_rows[gate_levels == level]
+        rows, flat, starts = _ragged_segments(indexed.fanin_ptr, rows)
+        if rows.size == 0:
+            continue
+        worst = np.maximum.reduceat(
+            arrival[:, indexed.fanin_src[flat]], starts, axis=1
+        )
+        arrival[:, rows] = delays[:, rows] + worst
+
+    circuit_delay = arrival[:, indexed.output_rows].max(axis=1)
+
+    required = np.where(
+        indexed.is_output[np.newaxis, :],
+        circuit_delay[:, np.newaxis],
+        np.inf,
+    )
+    for level in np.unique(levels)[::-1]:
+        rows = np.flatnonzero(levels == level)
+        rows, flat, starts = _ragged_segments(indexed.fanout_ptr, rows)
+        if rows.size == 0:
+            continue
+        dst = indexed.edge_dst[flat]
+        successor_required = np.minimum.reduceat(
+            required[:, dst] - delays[:, dst], starts, axis=1
+        )
+        required[:, rows] = np.minimum(required[:, rows], successor_required)
+
+    return BatchTimingReport(
+        arrival_ps=arrival, required_ps=required, delay_ps=circuit_delay
     )
 
 

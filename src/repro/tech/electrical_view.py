@@ -41,6 +41,7 @@ from repro.tech.glitch import generated_width_ps
 from repro.tech.library import ParameterAssignment
 from repro.tech.lut import bracket_queries, stacked_lookup
 from repro.tech.table_builder import TechnologyTables, default_tables
+from repro.units import PS_PER_FF_V_PER_UA
 
 
 def cell_param_arrays(
@@ -72,6 +73,228 @@ def cell_param_arrays(
         arrays["vdd"][row] = cell.vdd
         arrays["vth"][row] = cell.vth
     return arrays
+
+
+def stack_cell_param_arrays(
+    indexed, assignments
+) -> dict[str, np.ndarray]:
+    """``(B, V)`` parameter arrays for a sequence of assignments —
+    :func:`cell_param_arrays` stacked along a leading candidate axis."""
+    per = [cell_param_arrays(indexed, a) for a in assignments]
+    if not per:
+        raise TechnologyError("need at least one assignment to stack")
+    return {
+        field: np.stack([p[field] for p in per])
+        for field in ("size", "length_nm", "vdd", "vth")
+    }
+
+
+def _population_loads(indexed, input_cap: np.ndarray) -> np.ndarray:
+    """``(B, V)`` capacitive loads from per-row input-pin capacitances.
+
+    The bit-identity-critical accumulation both batched annotations
+    share: wire capacitance per fan-out branch, successor pins summed
+    in CSR edge order (``np.add.at`` — the scalar walks' sequential
+    order), then the latch capacitance at primary outputs.
+    """
+    fanout_counts = np.diff(indexed.fanout_ptr)
+    base_load = k.WIRE_CAP_PER_FANOUT_FF * np.maximum(
+        1, fanout_counts
+    ).astype(np.float64)
+    load = np.tile(base_load, (input_cap.shape[0], 1))
+    lanes = np.arange(input_cap.shape[0])[:, np.newaxis]
+    np.add.at(
+        load,
+        (lanes, indexed.edge_src[np.newaxis, :]),
+        input_cap[:, indexed.edge_dst],
+    )
+    load[:, indexed.is_output] += k.LATCH_CAP_FF
+    return load
+
+
+def _population_input_ramps(indexed, out_ramp: np.ndarray) -> np.ndarray:
+    """``(B, V)`` worst-predecessor input ramps (CSR max; exact)."""
+    ramp_in = np.zeros(out_ramp.shape)
+    has_fanins = np.diff(indexed.fanin_ptr) > 0
+    if has_fanins.any():
+        ramp_in[:, has_fanins] = np.maximum.reduceat(
+            out_ramp[:, indexed.fanin_src],
+            indexed.fanin_ptr[:-1][has_fanins],
+            axis=1,
+        )
+    return ramp_in
+
+
+def batched_electrical_arrays(
+    circuit: Circuit,
+    tables: TechnologyTables,
+    params: dict[str, np.ndarray],
+    charge_fc: float = k.DEFAULT_CHARGE_FC,
+) -> dict[str, np.ndarray]:
+    """The vectorized table-path annotation for a *population* of
+    parameter assignments in one pass.
+
+    ``params`` carries ``(B, V)`` ``size``/``length_nm``/``vdd``/``vth``
+    arrays over ``circuit.indexed()`` rows (see
+    :func:`stack_cell_param_arrays`); the result maps every field of
+    :meth:`CircuitElectrical.arrays` to a ``(B, V)`` array.  Each lane
+    runs exactly the operations of the single-assignment
+    ``_annotate_arrays`` pass (same gathers, same CSR accumulation
+    order), so lane ``b`` is bit-identical to annotating assignment
+    ``b`` alone — the property the batched SERTOPT objective's
+    equivalence contract rests on.
+    """
+    idx = circuit.indexed()
+    if not idx.group_pairs:
+        raise TechnologyError(
+            "batched annotation needs at least one logic gate; use the "
+            "scalar path for feed-through circuits"
+        )
+    size = np.asarray(params["size"], dtype=np.float64)
+    length = np.asarray(params["length_nm"], dtype=np.float64)
+    vdd = np.asarray(params["vdd"], dtype=np.float64)
+    vth = np.asarray(params["vth"], dtype=np.float64)
+    if size.ndim != 2 or size.shape[1] != idx.n_signals:
+        raise TechnologyError(
+            f"expected (B, {idx.n_signals}) parameter arrays, got {size.shape}"
+        )
+    n_lanes, n = size.shape
+    rows = idx.gate_rows
+    gid = np.broadcast_to(idx.group_id[rows], (n_lanes, rows.size))
+    pairs = idx.group_pairs
+
+    br_size = bracket_queries(tables.sizes, size[:, rows], "size")
+    br_length = bracket_queries(tables.lengths_nm, length[:, rows], "length")
+    br_vdd = bracket_queries(tables.vdds, vdd[:, rows], "vdd")
+    br_vth = bracket_queries(tables.vths, vth[:, rows], "vth")
+    cell_br = [br_size, br_length, br_vdd, br_vth]
+
+    input_cap = np.zeros((n_lanes, n))
+    input_cap[:, rows] = stacked_lookup(
+        tables.stacked_values("input_cap", pairs), gid, [br_size, br_length]
+    )
+    load = _population_loads(idx, input_cap)
+    br_load = bracket_queries(tables.loads_ff, load[:, rows], "load")
+
+    out_ramp = np.full((n_lanes, n), k.PRIMARY_INPUT_RAMP_PS)
+    out_ramp[:, rows] = stacked_lookup(
+        tables.stacked_values("ramp", pairs), gid, cell_br + [br_load]
+    )
+    ramp_in = _population_input_ramps(idx, out_ramp)
+    br_ramp = bracket_queries(tables.ramps_ps, ramp_in[:, rows], "ramp")
+    br_charge = bracket_queries(
+        tables.charges_fc, np.float64(charge_fc), "charge"
+    )
+
+    delay = np.zeros((n_lanes, n))
+    delay[:, rows] = stacked_lookup(
+        tables.stacked_values("delay", pairs), gid, cell_br + [br_load, br_ramp]
+    )
+    width = np.zeros((n_lanes, n))
+    width[:, rows] = stacked_lookup(
+        tables.stacked_values("glitch", pairs), gid,
+        cell_br + [br_load, br_charge],
+    )
+    leak = np.zeros((n_lanes, n))
+    leak[:, rows] = stacked_lookup(
+        tables.stacked_values("static_power", pairs), gid, cell_br
+    )
+
+    node_cap = np.zeros((n_lanes, n))
+    area = np.zeros((n_lanes, n))
+    self_cap_factors = np.array(
+        [ge.self_cap_factor(gtype, fanin) for gtype, fanin in pairs]
+    )
+    transistor_counts = np.array(
+        [float(ge.transistor_count(gtype, fanin)) for gtype, fanin in pairs]
+    )
+    gid_rows = idx.group_id[rows]
+    width_nm = size[:, rows] * k.WIDTH_PER_SIZE_NM
+    node_cap[:, rows] = (
+        k.DRAIN_CAP_PER_NM_FF * width_nm * self_cap_factors[gid_rows]
+        + load[:, rows]
+    )
+    area[:, rows] = (
+        transistor_counts[gid_rows]
+        * size[:, rows]
+        * (length[:, rows] / k.NOMINAL_LENGTH_NM)
+    )
+
+    return {
+        "load_ff": load,
+        "input_ramp_ps": ramp_in,
+        "output_ramp_ps": out_ramp,
+        "delay_ps": delay,
+        "node_cap_ff": node_cap,
+        "generated_width_ps": width,
+        "static_power_uw": leak,
+        "area_units": area,
+        "size": size,
+        "length_nm": length,
+        "vdd": vdd,
+        "vth": vth,
+    }
+
+
+def continuous_delay_arrays(
+    circuit: Circuit, params: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Per-gate delays of the continuous ("SPICE") model for a
+    population of assignments: ``(B, V)`` ``delay_ps`` (and the load /
+    ramp intermediates) mirroring the ``use_tables=False`` scalar
+    annotation operation for operation.
+
+    This is the realized-delay view SERTOPT's timing repair consults;
+    lane ``b`` reproduces
+    ``CircuitElectrical(circuit, assignment_b, use_tables=False).delay_ps``
+    bitwise (same formulas, same accumulation order), which keeps the
+    batched repair decisions identical to the serial path's.
+    """
+    idx = circuit.indexed()
+    size = np.asarray(params["size"], dtype=np.float64)
+    length = np.asarray(params["length_nm"], dtype=np.float64)
+    vdd = np.asarray(params["vdd"], dtype=np.float64)
+    vth = np.asarray(params["vth"], dtype=np.float64)
+    n_lanes, n = size.shape
+    rows = idx.gate_rows
+    pairs = idx.group_pairs
+    gid_rows = idx.group_id[rows]
+    icf = np.array([ge.input_cap_factor(g, f) for g, f in pairs])
+    scf = np.array([ge.self_cap_factor(g, f) for g, f in pairs])
+    div = np.array([ge.drive_divisor(g, f) for g, f in pairs])
+
+    width_nm = size[:, rows] * k.WIDTH_PER_SIZE_NM
+    input_cap = np.zeros((n_lanes, n))
+    input_cap[:, rows] = (
+        k.GATE_CAP_PER_NM_FF
+        * width_nm
+        * (length[:, rows] / k.NOMINAL_LENGTH_NM)
+        * icf[gid_rows]
+    )
+    load = _population_loads(idx, input_cap)
+
+    current = (
+        k.CURRENT_SCALE_UA
+        * (width_nm / length[:, rows])
+        * (vdd[:, rows] - vth[:, rows]) ** k.ALPHA
+        / div[gid_rows]
+    )
+    self_cap = k.DRAIN_CAP_PER_NM_FF * width_nm * scf[gid_rows]
+    total_cap = self_cap + load[:, rows]
+    step = (
+        PS_PER_FF_V_PER_UA * total_cap * vdd[:, rows] / (2.0 * current)
+    )
+    out_ramp = np.full((n_lanes, n), k.PRIMARY_INPUT_RAMP_PS)
+    out_ramp[:, rows] = k.RAMP_OF_DELAY * step
+    ramp_in = _population_input_ramps(idx, out_ramp)
+    delay = np.zeros((n_lanes, n))
+    delay[:, rows] = step + k.RAMP_DELAY_FRACTION * ramp_in[:, rows]
+    return {
+        "delay_ps": delay,
+        "load_ff": load,
+        "input_ramp_ps": ramp_in,
+        "output_ramp_ps": out_ramp,
+    }
 
 
 class CircuitElectrical:

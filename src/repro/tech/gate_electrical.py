@@ -22,7 +22,10 @@ from repro.units import PS_PER_FF_V_PER_UA
 #: LUT tensors by both — bump this whenever a change to the electrical
 #: equations alters any sampled value, or persistent cache directories
 #: would keep serving tensors computed with the old model.
-GATE_MODEL_VERSION = 1
+#: Version 2: drive currents evaluate the alpha-power term through
+#: ``np.power`` (ulp-level shifts versus libm ``pow``) so the scalar
+#: and batched continuous models agree bitwise.
+GATE_MODEL_VERSION = 2
 
 
 def drive_divisor(gtype: GateType, fanin: int) -> float:

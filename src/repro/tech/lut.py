@@ -203,6 +203,34 @@ def bracket_queries(
     return _bracket_array(np.asarray(grid, dtype=np.float64), values, name)
 
 
+def bracket_queries_rows(
+    grids: np.ndarray, values: np.ndarray, name: str = "axis"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row :func:`bracket_queries`: row ``b`` of ``values`` is
+    bracketed against row ``b`` of ``grids``.
+
+    This is the batched form the candidate-population analysis uses —
+    every candidate carries its own sample-width grid — and it is
+    implemented as one :func:`_bracket_array` call per row, so each row
+    is *bit-identical* to the single-grid path by construction.
+    """
+    grids = np.asarray(grids, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if grids.ndim != 2 or values.shape[0] != grids.shape[0]:
+        raise TableError(
+            f"bracket_queries_rows needs (B, M) grids and (B, ...) values; "
+            f"got {grids.shape} and {values.shape}"
+        )
+    low = np.empty(values.shape, dtype=np.int64)
+    high = np.empty(values.shape, dtype=np.int64)
+    frac = np.empty(values.shape, dtype=np.float64)
+    for row in range(grids.shape[0]):
+        low[row], high[row], frac[row] = _bracket_array(
+            grids[row], values[row], name
+        )
+    return low, high, frac
+
+
 def stacked_lookup(
     stack: np.ndarray,
     table_ids: np.ndarray,

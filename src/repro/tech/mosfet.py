@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import TechnologyError
 from repro.tech import constants as k
 from repro.units import THERMAL_VOLTAGE_V
@@ -38,10 +40,21 @@ def validate_device(width_nm: float, length_nm: float, vdd: float, vth: float) -
 
 
 def on_current_ua(width_nm: float, length_nm: float, vdd: float, vth: float) -> float:
-    """Saturation drive current in uA: ``K (W/L) (VDD - Vth)^alpha``."""
+    """Saturation drive current in uA: ``K (W/L) (VDD - Vth)^alpha``.
+
+    The power is evaluated through ``np.power`` so this scalar model
+    and the batched array model (which applies the same ufunc to whole
+    populations) produce *bit-identical* currents — libm's ``pow`` and
+    NumPy's vectorized loop disagree by an ulp on some inputs, which
+    would otherwise leak into SERTOPT's serial-vs-batched equivalence.
+    """
     validate_device(width_nm, length_nm, vdd, vth)
     overdrive = vdd - vth
-    return k.CURRENT_SCALE_UA * (width_nm / length_nm) * overdrive**k.ALPHA
+    return (
+        k.CURRENT_SCALE_UA
+        * (width_nm / length_nm)
+        * float(np.power(overdrive, k.ALPHA))
+    )
 
 
 def leakage_current_ua(width_nm: float, length_nm: float, vth: float) -> float:

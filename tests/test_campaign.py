@@ -553,3 +553,200 @@ class TestExperimentWrappers:
         )
         result = run_charge_sweep("c17", (4.0, 8.0, 4.0), scale)
         assert set(result.totals_by_charge) == {4.0, 8.0}
+
+
+# -------------------------------------------------- analysis-config axis
+
+
+class TestAnalysisConfigAxis:
+    def test_default_digests_unchanged_by_new_axis(self):
+        """The pre-axis serialized form had no share_epsilon /
+        structural_engine entries; defaults must serialize identically
+        so old stores resume (the pinned-digest test above guards the
+        exact value)."""
+        key = small_spec().scenarios()[0]
+        payload = key.to_json_dict()
+        assert "share_epsilon" not in payload
+        assert "structural_engine" not in payload
+
+    def test_old_store_record_resumes_default_config_campaign(self, tmp_path):
+        spec = CampaignSpec(
+            circuits=("c17",), charges_fc=(16.0,), n_vectors=200, seed=3
+        )
+        first = CampaignRunner(
+            spec, store=ResultStore(tmp_path / "store.jsonl")
+        ).run(parallel=False)
+        assert first.computed == 1
+        # Rewrite the store as an "old" record: strip the (absent) new
+        # fields to prove the serialized form is the historical one.
+        text = (tmp_path / "store.jsonl").read_text()
+        assert "share_epsilon" not in text
+        resumed = CampaignRunner(
+            spec, store=ResultStore(tmp_path / "store.jsonl")
+        ).run(parallel=False)
+        assert resumed.computed == 0 and resumed.skipped == 1
+
+    def test_non_default_epsilon_changes_digest_and_group(self):
+        base = small_spec().scenarios()[0]
+        swept = small_spec(share_epsilon=0.05).scenarios()[0]
+        assert swept.share_epsilon == 0.05
+        assert base.digest() != swept.digest()
+        assert base.structural_group() != swept.structural_group()
+        clone = ScenarioKey.from_json_dict(
+            json.loads(json.dumps(swept.to_json_dict()))
+        )
+        assert clone == swept and clone.digest() == swept.digest()
+
+    def test_event_engine_axis(self):
+        base = small_spec().scenarios()[0]
+        event = small_spec(structural_engine="event").scenarios()[0]
+        assert event.structural_engine == "event"
+        assert base.digest() != event.digest()
+        with pytest.raises(CampaignError):
+            small_spec(structural_engine="magic")
+        with pytest.raises(CampaignError):
+            small_spec(share_epsilon=0.0)
+
+    def test_epsilon_sweep_end_to_end(self):
+        """A non-default epsilon flows through the runner into the
+        analyzer: aggressive pruning can only lower (never raise) U."""
+        default = CampaignRunner(
+            small_spec(circuits=("c432",), n_vectors=400),
+            store=ResultStore(),
+        ).run(parallel=False)
+        pruned = CampaignRunner(
+            small_spec(circuits=("c432",), n_vectors=400, share_epsilon=0.2),
+            store=ResultStore(),
+        ).run(parallel=False)
+        for before, after in zip(default.results, pruned.results):
+            assert after.unreliability_total <= before.unreliability_total
+        assert any(
+            after.unreliability_total < before.unreliability_total
+            for before, after in zip(default.results, pruned.results)
+        )
+
+    def test_cli_flags(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        code = main(
+            [
+                "--circuits", "c17",
+                "--charges", "16",
+                "--environments", "sea-level",
+                "--n-vectors", "150",
+                "--share-epsilon", "0.05",
+                "--structural-engine", "event",
+                "--store", str(tmp_path / "cli.jsonl"),
+                "--serial",
+            ]
+        )
+        assert code == 0
+        record = json.loads((tmp_path / "cli.jsonl").read_text().splitlines()[0])
+        assert record["key"]["share_epsilon"] == 0.05
+        assert record["key"]["structural_engine"] == "event"
+
+
+# ------------------------------------------------- parallel amortization
+
+
+class TestParallelAmortization:
+    def test_auto_mode_stays_serial_below_threshold(self):
+        spec = small_spec()  # 4 analysis units, far below the threshold
+        outcome = CampaignRunner(
+            spec, store=ResultStore(), max_workers=2
+        ).run(parallel=None)
+        assert outcome.mode == "serial"
+
+    def test_threshold_configurable(self):
+        spec = small_spec()
+        runner = CampaignRunner(
+            spec, store=ResultStore(), max_workers=2, parallel_min_units=0
+        )
+        outcome = runner.run(parallel=None)
+        # With the floor removed, auto mode may dispatch (or fall back
+        # serially in a pool-less sandbox) — both must compute the grid.
+        assert outcome.mode in ("serial", "parallel")
+        assert outcome.computed == spec.size()
+        with pytest.raises(CampaignError):
+            CampaignRunner(spec, parallel_min_units=-1)
+
+    def test_forced_parallel_ignores_threshold(self):
+        spec = small_spec()
+        outcome = CampaignRunner(
+            spec, store=ResultStore(), max_workers=2
+        ).run(parallel=True)
+        assert outcome.mode in ("serial", "parallel")
+        assert outcome.computed == spec.size()
+
+    def test_serial_reuse_counters(self):
+        from repro.campaign.runner import clear_analyzer_cache
+
+        clear_analyzer_cache()
+        spec = CampaignSpec(
+            circuits=("c17", "c432"),
+            charges_fc=(4.0, 8.0, 16.0),
+            n_vectors=200,
+            seed=3,
+        )
+        outcome = CampaignRunner(
+            spec, store=ResultStore(), max_workers=4
+        ).run(parallel=False)
+        assert outcome.batch_stats, "serial run must report batch stats"
+        final = outcome.batch_stats[-1]
+        groups = {key.structural_group() for key in spec.scenarios()}
+        assert final["analyzer_builds"] == len(groups)
+        assert final["analyzer_reuses"] == len(outcome.batch_stats) - len(groups)
+        clear_analyzer_cache()
+
+    def test_batches_interleave_groups(self):
+        spec = CampaignSpec(
+            circuits=("c17", "c432"),
+            charges_fc=(4.0, 8.0, 16.0, 20.0),
+            n_vectors=200,
+            seed=3,
+        )
+        runner = CampaignRunner(spec, store=ResultStore())
+        batches = runner._batches(list(spec.scenarios()), workers=4)
+        order = [batch[0][0] for batch in batches]  # circuit of each batch
+        assert len(batches) == 4  # two chunks per circuit
+        # Round-robin: the first two batches cover *different* circuits.
+        assert order[0] != order[1]
+        assert order[2] != order[3]
+
+    def test_parallel_reuse_counters_when_pool_available(self):
+        from repro.campaign.runner import clear_analyzer_cache
+
+        spec = CampaignSpec(
+            circuits=("c17", "c432"),
+            charges_fc=(4.0, 8.0, 16.0, 20.0),
+            n_vectors=200,
+            seed=3,
+        )
+        clear_analyzer_cache()
+        outcome = CampaignRunner(
+            spec, store=ResultStore(), max_workers=4
+        ).run(parallel=True)
+        if outcome.mode != "parallel":
+            pytest.skip("process pool unavailable in this sandbox")
+        groups = {key.structural_group() for key in spec.scenarios()}
+        builds = outcome.analyzer_builds_by_worker()
+        assert builds, "parallel run must report per-worker stats"
+        # Accounting invariant: every batch either built its group's
+        # analyzer in its process or reused one — final per-worker
+        # builds + reuses sum to the batch count exactly.
+        final: dict[int, tuple[int, int]] = {}
+        for stats in outcome.batch_stats:
+            pid = stats["pid"]
+            previous = final.get(pid, (0, 0))
+            final[pid] = (
+                max(previous[0], stats["analyzer_builds"]),
+                max(previous[1], stats["analyzer_reuses"]),
+            )
+        total_builds = sum(b for b, __ in final.values())
+        total_reuses = sum(r for __, r in final.values())
+        assert total_builds + total_reuses == len(outcome.batch_stats)
+        # No worker rebuilds a group it already compiled, and at least
+        # one group is built per participating worker.
+        for pid, count in builds.items():
+            assert 1 <= count <= len(groups), (pid, count)
+        clear_analyzer_cache()

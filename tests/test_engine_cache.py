@@ -244,3 +244,85 @@ class TestCampaignCacheDir:
         assert [k.digest() for k in plain.scenarios()] == [
             k.digest() for k in cached.scenarios()
         ]
+
+
+class TestDiskBudget:
+    """`max_disk_bytes`: LRU-by-mtime eviction of the on-disk tier."""
+
+    @staticmethod
+    def _artifact(i: int, kib: int = 8) -> dict:
+        return {"values": np.full(kib * 128, float(i))}  # ~1 KiB * kib
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(EngineError):
+            ArtifactCache(cache_dir=tmp_path, max_disk_bytes=0)
+        with pytest.raises(EngineError):
+            ArtifactCache(max_disk_bytes=1024)  # no cache_dir to bound
+        with pytest.raises(EngineError):
+            AnalysisEngine(cache=ArtifactCache(), max_disk_bytes=1024)
+
+    def test_lru_eviction_under_tiny_cap(self, tmp_path):
+        import time as _time
+
+        cache = ArtifactCache(
+            cache_dir=tmp_path, max_disk_bytes=20 * 1024
+        )
+        for i in range(5):
+            cache.get_or_build_arrays(
+                f"kind-{i:02d}", lambda i=i: self._artifact(i)
+            )
+            _time.sleep(0.01)  # distinct mtimes on coarse filesystems
+        files = sorted(p.name for p in tmp_path.rglob("*.npz"))
+        # ~8 KiB each under a 20 KiB cap: only the most recent survive.
+        assert cache.stats.disk_evictions >= 3
+        assert f"kind-04.npz" in files
+        assert f"kind-00.npz" not in files
+        total = sum(p.stat().st_size for p in tmp_path.rglob("*.npz"))
+        assert total <= 20 * 1024
+
+    def test_newest_artifact_never_self_evicts(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_bytes=1)
+        cache.get_or_build_arrays("kind-a", lambda: self._artifact(0))
+        files = list(tmp_path.rglob("*.npz"))
+        assert [p.name for p in files] == ["kind-a.npz"]
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        import time as _time
+
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_bytes=20 * 1024)
+        cache.get_or_build_arrays("kind-old", lambda: self._artifact(0))
+        _time.sleep(0.02)
+        cache.get_or_build_arrays("kind-mid", lambda: self._artifact(1))
+        _time.sleep(0.02)
+        # Re-read "old" through a fresh cache (disk hit -> touched).
+        reader = ArtifactCache(cache_dir=tmp_path, max_disk_bytes=20 * 1024)
+        assert reader.get_or_build_arrays(
+            "kind-old", lambda: self._artifact(9)
+        )["values"][0] == 0.0
+        assert reader.stats.disk_hits == 1
+        _time.sleep(0.02)
+        reader.get_or_build_arrays("kind-new", lambda: self._artifact(2))
+        names = {p.name for p in tmp_path.rglob("*.npz")}
+        # "mid" is now the least recently used and is evicted first.
+        assert "kind-old.npz" in names
+        assert "kind-mid.npz" not in names
+
+    def test_concurrent_delete_tolerated(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_bytes=4 * 1024)
+        cache.get_or_build_arrays("kind-x", lambda: self._artifact(0))
+        for path in tmp_path.rglob("*.npz"):
+            path.unlink()  # another process evicted everything
+        # The next write re-scans a directory whose files are gone.
+        cache.get_or_build_arrays("kind-y", lambda: self._artifact(1))
+        assert any(p.name == "kind-y.npz" for p in tmp_path.rglob("*.npz"))
+
+    def test_counter_in_snapshot(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_bytes=1)
+        cache.get_or_build_arrays("kind-a", lambda: self._artifact(0))
+        cache.get_or_build_arrays("kind-b", lambda: self._artifact(1))
+        snapshot = cache.stats.snapshot()
+        assert snapshot["disk_evictions"] == cache.stats.disk_evictions >= 1
+
+    def test_engine_passthrough(self, tmp_path):
+        engine = AnalysisEngine(cache_dir=tmp_path, max_disk_bytes=123456)
+        assert engine.cache.max_disk_bytes == 123456

@@ -174,3 +174,51 @@ class TestObservabilitySharedImplementation:
         assert obs == {
             name: float(dense[row]) for row, name in enumerate(idx.order)
         }
+
+
+class TestSiteMasks:
+    """Per-row active-site masks: live pairs only, bit-identical."""
+
+    def test_site_matrix_matches_reachability(self, c432):
+        compiled = CompiledStructuralCircuit(c432.indexed())
+        idx = c432.indexed()
+        rows = idx.gate_rows[:40]
+        mask = compiled.site_matrix(10, 42, rows)
+        assert mask.shape == (32, rows.size)
+        # Row-wise OR over sites must agree with the block candidates
+        # restricted to these rows (same own-site exclusion rule).
+        candidate = compiled.candidates(10, 42)
+        np.testing.assert_array_equal(mask.any(axis=0), candidate[rows])
+
+    def test_forced_sparse_path_bit_identical(self, c432):
+        """Small blocks on a reconvergent circuit drive pair density
+        low, forcing the gathered-pair branch; the counts must still be
+        exactly the event-driven estimator's."""
+        import repro.engine.structural as st
+
+        original = st.SITE_MASK_MAX_DENSITY
+        try:
+            st.SITE_MASK_MAX_DENSITY = 1.0  # every multi-site block
+            sparse = structural_matrix_batched(
+                c432, N_VECTORS, seed=SEED, block_sites=8
+            )
+        finally:
+            st.SITE_MASK_MAX_DENSITY = original
+        np.testing.assert_array_equal(
+            sparse, structural_matrix_event(c432, N_VECTORS, seed=SEED)
+        )
+
+    def test_forced_dense_path_bit_identical(self, c432):
+        import repro.engine.structural as st
+
+        original = st.SITE_MASK_MAX_DENSITY
+        try:
+            st.SITE_MASK_MAX_DENSITY = -1.0  # never take the pair branch
+            dense = structural_matrix_batched(
+                c432, N_VECTORS, seed=SEED, block_sites=8
+            )
+        finally:
+            st.SITE_MASK_MAX_DENSITY = original
+        np.testing.assert_array_equal(
+            dense, structural_matrix_event(c432, N_VECTORS, seed=SEED)
+        )
