@@ -32,6 +32,22 @@ Engine:
     (batched structural simulation + content-addressed artifact cache)
 Reference simulation:
     :class:`~repro.spice.transient.TransientSimulator`
+
+Quickstart
+----------
+One ASERTA analysis — Equation-4 circuit unreliability plus per-gate
+Equation-3 contributions (see ``docs/architecture.md`` for the full
+paper-to-module map):
+
+>>> from repro import AsertaAnalyzer, AsertaConfig, iscas85_circuit
+>>> analyzer = AsertaAnalyzer(
+...     iscas85_circuit("c17"), AsertaConfig(n_vectors=256, seed=1)
+... )
+>>> report = analyzer.analyze()
+>>> report.total > 0.0  # circuit unreliability U, ps
+True
+>>> [entry.gate for entry in report.unreliability.softest_gates(2)]
+['16', '11']
 """
 
 from repro.campaign import (

@@ -89,7 +89,17 @@ class EnvironmentRates:
 
 @dataclass(frozen=True)
 class Environment:
-    """One deployment scenario: flux, duty cycle and mission length."""
+    """One deployment scenario: flux, duty cycle and mission length.
+
+    Environments scale ASERTA's *relative* unreliability into absolute
+    failure rates: ``flux_multiplier`` is the particle flux relative to
+    the sea-level reference (NYC = 1.0), ``duty_cycle`` the fraction of
+    time the circuit is clocked, and ``mission_hours`` the exposure the
+    mission-upset probability integrates over.  Presets ``SEA_LEVEL``,
+    ``AVIONICS`` and ``LEO_SPACE`` are looked up by
+    :func:`environment`; the derived metrics are FIT (failures per
+    10^9 device-hours) and ``mission_upset_probability``.
+    """
 
     name: str
     description: str = ""

@@ -225,7 +225,17 @@ class CampaignOutcome:
 
 
 class CampaignRunner:
-    """Evaluates a :class:`CampaignSpec`, reading/writing a store."""
+    """Evaluates a :class:`CampaignSpec`, reading/writing a store.
+
+    Scenarios already present in the ``store`` (by digest) are skipped;
+    the rest are analyzed serially or process-parallel.
+    ``parallel=None`` (default) picks serial below
+    ``parallel_min_units`` analysis units — pool startup dominates
+    small grids — and parallel above it; ``max_workers`` sizes the
+    pool.  :meth:`run` returns a :class:`CampaignOutcome` whose
+    ``results`` follow the spec's deterministic grid order regardless
+    of execution mode.
+    """
 
     def __init__(
         self,

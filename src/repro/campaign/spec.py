@@ -150,7 +150,17 @@ class CampaignSpec:
     Scenario order (and therefore store order and summary order) is
     deterministic: circuits and charges in declaration order, assignments
     sorted by name, environments in declaration order, sample-width
-    counts in declaration order.
+    counts in declaration order.  See ``docs/campaigns.md`` for the
+    digest/resume semantics.
+
+    >>> spec = CampaignSpec(circuits=("c17",), charges_fc=(4.0, 16.0))
+    >>> spec.size()
+    2
+    >>> keys = spec.scenarios()
+    >>> [k.charge_fc for k in keys]
+    [4.0, 16.0]
+    >>> keys[0].digest() == spec.scenarios()[0].digest()  # stable identity
+    True
     """
 
     #: Circuit names, resolved through the ISCAS-85 registry.

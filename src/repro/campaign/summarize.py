@@ -36,7 +36,13 @@ class AssignmentRanking:
 
 
 class CampaignSummary:
-    """Grid-level views over a set of scenario results."""
+    """Grid-level views over a set of scenario results.
+
+    Groups :class:`ScenarioResult`\\ s by circuit, charge and
+    environment and renders the comparison tables (FIT rates, mission
+    upset probabilities, observability rows) campaigns report — see
+    ``format_fit_table`` and friends.
+    """
 
     def __init__(self, results: Iterable[ScenarioResult]) -> None:
         self.results: tuple[ScenarioResult, ...] = tuple(results)

@@ -53,7 +53,24 @@ _KEYWORD_BY_TYPE = {
 
 
 def parse_bench(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` source text into a validated :class:`Circuit`."""
+    """Parse ``.bench`` source text into a validated :class:`Circuit`.
+
+    ``text`` is the ISCAS'85 netlist format — ``INPUT(x)`` /
+    ``OUTPUT(y)`` declarations plus ``y = NAND(a, b)`` gate lines,
+    ``#`` comments allowed; ``name`` becomes :attr:`Circuit.name`.
+    Round-trips with :func:`write_bench`:
+
+    >>> c = parse_bench('''
+    ... INPUT(a)
+    ... INPUT(b)
+    ... OUTPUT(y)
+    ... y = NAND(a, b)
+    ... ''', name="tiny")
+    >>> (c.gate_count, c.inputs, c.outputs)
+    (1, ('a', 'b'), ('y',))
+    >>> parse_bench(write_bench(c), name="tiny").gate("y").fanins
+    ('a', 'b')
+    """
     circuit = Circuit(name)
     pending_outputs: list[str] = []
     for line_number, raw_line in enumerate(text.splitlines(), start=1):

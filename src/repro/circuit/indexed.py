@@ -134,6 +134,134 @@ class IndexedCircuit:
         for gid, rows in enumerate(self.type_groups.values()):
             self.group_id[rows] = gid
 
+        # Lazily-built level plans (see the methods below).
+        self._reverse_level: np.ndarray | None = None
+        self._reverse_level_rows: tuple[np.ndarray, ...] | None = None
+        self._fanin_level_segments: tuple | None = None
+        self._fanout_level_segments: tuple | None = None
+        self._fanout_slot_plan: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # Level plans (reverse levels + per-level CSR segment blocks)
+    # ------------------------------------------------------------------
+
+    @property
+    def reverse_level(self) -> np.ndarray:
+        """Reverse logic level per row: sinks (rows without fanouts) sit
+        at level 0 and every other row one past its deepest successor —
+        so all successors of a row live at *strictly smaller* reverse
+        levels.  This is the schedule of every output-to-input batched
+        sweep (the matching engine scores all gates of one reverse level
+        in a single ``(lanes, gates, cells)`` block)."""
+        if self._reverse_level is None:
+            rl = np.zeros(self.n_signals, dtype=np.int64)
+            for row in range(self.n_signals - 1, -1, -1):
+                successors = self.fanouts_of(row)
+                if successors.size:
+                    rl[row] = int(rl[successors].max()) + 1
+            self._reverse_level = rl
+        return self._reverse_level
+
+    def reverse_level_rows(self) -> tuple[np.ndarray, ...]:
+        """Gate rows grouped by :attr:`reverse_level`, level 0 first.
+
+        Block ``L`` holds the logic-gate rows (inputs excluded) at
+        reverse level ``L`` in ascending row order; levels that contain
+        only input rows yield empty blocks so positions always equal
+        reverse levels.
+        """
+        if self._reverse_level_rows is None:
+            rl = self.reverse_level
+            gate_rl = rl[self.gate_rows]
+            n_levels = int(rl.max()) + 1 if self.n_signals else 0
+            self._reverse_level_rows = tuple(
+                self.gate_rows[gate_rl == level] for level in range(n_levels)
+            )
+        return self._reverse_level_rows
+
+    @staticmethod
+    def _ragged_segments(ptr: np.ndarray, rows: np.ndarray):
+        """Flattened CSR segment indices + segment starts for ``rows``
+        (rows whose segment is empty are dropped)."""
+        counts = ptr[rows + 1] - ptr[rows]
+        present = counts > 0
+        rows = rows[present]
+        counts = counts[present]
+        if rows.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return rows, empty, empty
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        flat = np.repeat(ptr[rows] - starts, counts) + np.arange(
+            int(counts.sum()), dtype=np.int64
+        )
+        return rows, flat, starts
+
+    def fanout_slot_plan(self) -> tuple:
+        """Fan-out edges decomposed into unique-source slots.
+
+        Slot ``j`` is a ``(srcs, dsts)`` pair covering the ``j``-th
+        fan-out edge (CSR order) of every row that has one; each slot's
+        sources are unique, so ``acc[:, srcs] += values[:, dsts]`` slot
+        by slot replays ``np.add.at`` over the edge list — the exact
+        per-source sequential accumulation order — with ordinary
+        fancy-index adds.  This is the no-``reduceat`` segment-sum plan
+        shared by every load-accumulation pass.
+        """
+        if self._fanout_slot_plan is None:
+            counts = np.diff(self.fanout_ptr)
+            plan = []
+            rank = 0
+            while True:
+                srcs = np.flatnonzero(counts > rank)
+                if srcs.size == 0:
+                    break
+                plan.append((srcs, self.edge_dst[self.fanout_ptr[srcs] + rank]))
+                rank += 1
+            self._fanout_slot_plan = tuple(plan)
+        return self._fanout_slot_plan
+
+    def fanin_level_segments(self) -> tuple:
+        """Per-forward-level fan-in gather plan for level-batched sweeps.
+
+        One ``(rows, srcs, starts)`` triple per forward logic level that
+        contains gate rows, in ascending level order: ``srcs`` is the
+        concatenation of every row's fan-in rows (declaration order) and
+        ``starts`` the segment starts, ready for
+        ``np.maximum.reduceat(values[:, srcs], starts, axis=1)``.  Built
+        once and cached — the batched STA consumes this every repair
+        round of the matching engine.
+        """
+        if self._fanin_level_segments is None:
+            gate_levels = self.level[self.gate_rows]
+            plan = []
+            for level in np.unique(gate_levels):
+                rows = self.gate_rows[gate_levels == level]
+                rows, flat, starts = self._ragged_segments(self.fanin_ptr, rows)
+                if rows.size:
+                    plan.append((rows, self.fanin_src[flat], starts))
+            self._fanin_level_segments = tuple(plan)
+        return self._fanin_level_segments
+
+    def fanout_level_segments(self) -> tuple:
+        """Per-forward-level fan-out gather plan, deepest level first.
+
+        One ``(rows, dsts, starts)`` triple per forward logic level with
+        fan-out edges, in *descending* level order — the backward
+        (required-time) sweep's schedule, mirroring
+        :meth:`fanin_level_segments`.
+        """
+        if self._fanout_level_segments is None:
+            plan = []
+            for level in np.unique(self.level)[::-1]:
+                rows = np.flatnonzero(self.level == level)
+                rows, flat, starts = self._ragged_segments(
+                    self.fanout_ptr, rows
+                )
+                if rows.size:
+                    plan.append((rows, self.edge_dst[flat], starts))
+            self._fanout_level_segments = tuple(plan)
+        return self._fanout_level_segments
+
     # ------------------------------------------------------------------
     # Dict <-> array bridging
     # ------------------------------------------------------------------

@@ -107,7 +107,13 @@ _BUILDERS: dict[str, Callable[[], Circuit]] = {
 
 
 def iscas85_names() -> tuple[str, ...]:
-    """All registered benchmark names, smallest first."""
+    """All registered ISCAS'85 benchmark names, smallest first.
+
+    >>> iscas85_names()[:3]
+    ('c17', 'c432', 'c499')
+    >>> len(iscas85_names())
+    11
+    """
     return tuple(sorted(_BUILDERS, key=lambda n: int(n[1:])))
 
 
@@ -134,5 +140,9 @@ def iscas85_circuit(name: str) -> Circuit:
     A shallow copy is returned, so callers may mark additional outputs
     without corrupting the cache; :class:`~repro.circuit.gate.Gate`
     objects themselves are immutable and shared.
+
+    >>> c17 = iscas85_circuit("c17")
+    >>> (c17.gate_count, len(c17.inputs), len(c17.outputs))
+    (6, 5, 2)
     """
     return _cached(name).copy()

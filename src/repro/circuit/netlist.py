@@ -26,6 +26,21 @@ class Circuit:
     format: every signal is driven either by a primary input or by
     exactly one gate, and a primary output is simply a signal marked
     as observed by a latch.
+
+    Build with :meth:`add_input` / :meth:`add_gate` / :meth:`mark_output`
+    (derived structure — topological order, levels, fan-out maps, the
+    dense :meth:`indexed` view — is computed lazily and invalidated on
+    mutation):
+
+    >>> from repro.circuit.gate import GateType
+    >>> c = Circuit("demo")
+    >>> a, b = c.add_input("a"), c.add_input("b")
+    >>> g = c.add_gate("g", GateType.NAND, [a, b])
+    >>> c.mark_output(g)
+    >>> c.gate_count, c.topological_order()
+    (1, ('a', 'b', 'g'))
+    >>> c.fanouts("a")
+    ('g',)
     """
 
     def __init__(self, name: str = "circuit") -> None:

@@ -136,20 +136,31 @@ def collect_paths(
 
     ``extra`` paths (e.g. the critical path from STA) are always included
     and de-duplicated against the rest.
+
+    The result is cached on the circuit (like every other derived
+    structure, invalidated on mutation) keyed by the full argument
+    tuple: path collection is deterministic given ``(max_paths, seed,
+    extra)``, and SERTOPT rebuilds the same delay space every
+    ``optimize()`` call on a circuit.
     """
     if max_paths < 1:
         raise CircuitError("collect_paths needs max_paths >= 1")
-    total = count_paths(circuit)
-    if total <= max_paths:
-        paths = list(enumerate_paths(circuit))
-    else:
-        paths = sample_paths(circuit, max_paths, seed=seed)
-    seen = set(paths)
-    for path in extra:
-        if path not in seen:
-            seen.add(path)
-            paths.append(path)
-    return paths
+    key = ("collect_paths", max_paths, seed, tuple(extra))
+    cached = circuit._cache.get(key)
+    if cached is None:
+        total = count_paths(circuit)
+        if total <= max_paths:
+            paths = list(enumerate_paths(circuit))
+        else:
+            paths = sample_paths(circuit, max_paths, seed=seed)
+        seen = set(paths)
+        for path in key[3]:
+            if path not in seen:
+                seen.add(path)
+                paths.append(path)
+        cached = tuple(paths)
+        circuit._cache[key] = cached
+    return list(cached)
 
 
 def topology_matrix(

@@ -67,7 +67,18 @@ DEFAULT_MAX_BATCH_BYTES = 1 << 28
 
 @dataclass(frozen=True)
 class AsertaConfig:
-    """Knobs of the analysis (paper defaults)."""
+    """Knobs of one ASERTA analysis (defaults are the paper's protocol).
+
+    Each field is an *analysis input*: changing any of them changes the
+    estimate (and, in campaigns, the scenario digest).  Units: charges
+    in fC, probabilities dimensionless, widths counted (the sample-width
+    grid itself is derived in ps).
+
+    >>> AsertaConfig().n_vectors, AsertaConfig().n_sample_widths
+    (10000, 10)
+    >>> AsertaConfig(n_vectors=2000, seed=1).seed
+    1
+    """
 
     #: Random vectors for the P_ij estimate (paper: 10 000, as in [5]).
     n_vectors: int = 10000
@@ -141,7 +152,15 @@ class AsertaBatch:
 
 @dataclass(frozen=True)
 class AsertaReport:
-    """Everything one ASERTA run produces."""
+    """Everything one ASERTA run produces.
+
+    ``unreliability`` holds the Equation-3/4 breakdown (``.total`` is
+    the circuit unreliability U, in ps of vulnerable time per strike
+    class), ``masking`` the Section-3.2 expected-width tables,
+    ``electrical`` the annotated delays/widths/loads (ps, ps, fF) the
+    analysis was computed from, and ``runtime_s`` the wall time of this
+    analysis in seconds.
+    """
 
     unreliability: UnreliabilityReport
     masking: ElectricalMaskingResult

@@ -30,7 +30,14 @@ class CostWeights:
     unreliability dominates, timing matters (the constraint is enforced
     structurally by the nullspace moves, the weight only polices the
     finite-library residual), and energy/area may grow by a factor of
-    two if unreliability pays for it.
+    two if unreliability pays for it.  All weights are dimensionless —
+    every Equation-5 term is a ratio against the baseline circuit.
+
+    >>> w = CostWeights()
+    >>> (w.unreliability, w.timing, w.energy, w.area)
+    (1.0, 0.3, 0.12, 0.06)
+    >>> round(w.total_weight, 3)  # the cost of the untouched baseline
+    1.48
     """
 
     unreliability: float = 1.0

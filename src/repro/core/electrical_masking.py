@@ -60,6 +60,64 @@ from repro.tech.glitch import (
 from repro.tech.lut import bracket_queries, bracket_queries_rows
 
 
+_TAKE_GRIDS: dict[tuple[int, ...], tuple[np.ndarray, ...]] = {}
+
+
+def _take_last(tab: np.ndarray, ind: np.ndarray) -> np.ndarray:
+    """``np.take_along_axis(tab, ind, axis=-1)`` without the per-call
+    wrapper overhead — the sweeps below gather twice per level batch, so
+    the index-grid construction is worth keeping lean (grids are cached
+    per leading shape; the sweep revisits a handful of shapes)."""
+    lead = tab.shape[:-1]
+    grids = _TAKE_GRIDS.get(lead)
+    if grids is None:
+        if len(_TAKE_GRIDS) >= 256:
+            _TAKE_GRIDS.clear()
+        grids = tuple(
+            np.ogrid[tuple(slice(n) for n in lead) + (slice(0, 1),)][:-1]
+        )
+        _TAKE_GRIDS[lead] = grids
+    return tab[grids + (ind,)]
+
+
+def _sweep_slots(structure: MaskingStructure):
+    """Fan-out slot decomposition of every sweep batch, cached on the
+    structure.
+
+    ``np.add.at`` accumulates one edge at a time in batch order —
+    flexible but slow.  Within a batch, occurrence ``j`` of each source
+    row forms a *unique-index* slot, so ``inner[srcs] += weighted[pos]``
+    per slot replays the exact per-element accumulation order (a gate's
+    successor contributions add in fan-out declaration order) with
+    ordinary fancy-index adds.  One ``(positions, source rows)`` pair
+    per occurrence rank per batch.
+    """
+    slots = getattr(structure, "_sweep_slots", None)
+    if slots is None:
+        edge_src = structure.indexed.edge_src
+        slots = []
+        for edges in structure.sweep_batches:
+            src = edge_src[edges]
+            order = np.argsort(src, kind="stable")
+            sorted_src = src[order]
+            new_group = np.ones(sorted_src.size, dtype=bool)
+            new_group[1:] = sorted_src[1:] != sorted_src[:-1]
+            starts = np.flatnonzero(new_group)
+            counts = np.diff(np.append(starts, sorted_src.size))
+            occurrence = np.empty(sorted_src.size, dtype=np.int64)
+            occurrence[order] = np.arange(sorted_src.size) - np.repeat(
+                starts, counts
+            )
+            batch_slots = []
+            for rank in range(int(counts.max(initial=0))):
+                pos = np.flatnonzero(occurrence == rank)
+                batch_slots.append((pos, src[pos]))
+            slots.append(tuple(batch_slots))
+        slots = tuple(slots)
+        object.__setattr__(structure, "_sweep_slots", slots)
+    return slots
+
+
 @dataclass(frozen=True)
 class MaskingArrays:
     """Dense form of one electrical-masking pass."""
@@ -288,23 +346,25 @@ def electrical_masking(
     # with the Equation-2 shares, scatter-add onto the sources.
     inner = ws[:, :, 1:]
     edge_share = structure.edge_shares
-    edge_src, edge_dst = idx.edge_src, idx.edge_dst
-    for edges in structure.sweep_batches:
-        src, dst = edge_src[edges], edge_dst[edges]
+    edge_dst = idx.edge_dst
+    for edges, batch_slots in zip(
+        structure.sweep_batches, _sweep_slots(structure)
+    ):
+        dst = edge_dst[edges]
         tab = ws[dst]
         f = frac[dst][:, np.newaxis, :]
-        t_lo = np.take_along_axis(tab, low[dst][:, np.newaxis, :], axis=2)
-        t_hi = np.take_along_axis(tab, high[dst][:, np.newaxis, :], axis=2)
+        t_lo = _take_last(tab, low[dst][:, np.newaxis, :])
+        t_hi = _take_last(tab, high[dst][:, np.newaxis, :])
         contribution = t_lo * (1.0 - f) + t_hi * f
-        np.add.at(
-            inner, src, edge_share[edges][:, :, np.newaxis] * contribution
-        )
+        weighted = edge_share[edges][:, :, np.newaxis] * contribution
+        for pos, srcs in batch_slots:
+            inner[srcs] += weighted[pos]
 
     # Step (iv): expected widths for the generated glitches, one
     # interpolation per (gate, output) out of the same tensor.
     g_low, g_high, g_frac = bracket_queries(anchored_x, generated, "width")
-    g_lo = np.take_along_axis(ws, g_low[:, np.newaxis, np.newaxis], axis=2)
-    g_hi = np.take_along_axis(ws, g_high[:, np.newaxis, np.newaxis], axis=2)
+    g_lo = _take_last(ws, g_low[:, np.newaxis, np.newaxis])
+    g_hi = _take_last(ws, g_high[:, np.newaxis, np.newaxis])
     expected = (
         g_lo[:, :, 0] * (1.0 - g_frac[:, np.newaxis])
         + g_hi[:, :, 0] * g_frac[:, np.newaxis]
@@ -400,35 +460,28 @@ def electrical_masking_many(
     low, high, frac = bracket_queries_rows(anchored_x, attenuated, "width")
 
     inner = ws[..., 1:]
-    lanes = np.arange(n_lanes)[:, np.newaxis]
     edge_share = structure.edge_shares
-    edge_src, edge_dst = idx.edge_src, idx.edge_dst
-    for edges in structure.sweep_batches:
-        src, dst = edge_src[edges], edge_dst[edges]
+    edge_dst = idx.edge_dst
+    for edges, batch_slots in zip(
+        structure.sweep_batches, _sweep_slots(structure)
+    ):
+        dst = edge_dst[edges]
         tab = ws[:, dst]
         f = frac[:, dst][:, :, np.newaxis, :]
-        t_lo = np.take_along_axis(
-            tab, low[:, dst][:, :, np.newaxis, :], axis=3
-        )
-        t_hi = np.take_along_axis(
-            tab, high[:, dst][:, :, np.newaxis, :], axis=3
-        )
+        t_lo = _take_last(tab, low[:, dst][:, :, np.newaxis, :])
+        t_hi = _take_last(tab, high[:, dst][:, :, np.newaxis, :])
         contribution = t_lo * (1.0 - f) + t_hi * f
-        np.add.at(
-            inner,
-            (lanes, src[np.newaxis, :]),
-            edge_share[edges][np.newaxis, :, :, np.newaxis] * contribution,
+        weighted = (
+            edge_share[edges][np.newaxis, :, :, np.newaxis] * contribution
         )
+        for pos, srcs in batch_slots:
+            inner[:, srcs] += weighted[:, pos]
 
     g_low, g_high, g_frac = bracket_queries_rows(
         anchored_x, generated, "width"
     )
-    g_lo = np.take_along_axis(
-        ws, g_low[:, :, np.newaxis, np.newaxis], axis=3
-    )
-    g_hi = np.take_along_axis(
-        ws, g_high[:, :, np.newaxis, np.newaxis], axis=3
-    )
+    g_lo = _take_last(ws, g_low[:, :, np.newaxis, np.newaxis])
+    g_hi = _take_last(ws, g_high[:, :, np.newaxis, np.newaxis])
     expected = (
         g_lo[..., 0] * (1.0 - g_frac[:, :, np.newaxis])
         + g_hi[..., 0] * g_frac[:, :, np.newaxis]

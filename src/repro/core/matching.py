@@ -8,9 +8,17 @@ once a gate's cell is chosen its input capacitance is known, which fixes
 its predecessors' loads, and so on.  The only constraint is the
 no-level-shifter rule: a gate's VDD must be >= every successor's VDD.
 
-Matching is vectorized: for each (gate type, fan-in) the engine
-precomputes per-cell drive slopes and capacitances, so evaluating the
-whole library for one gate is a handful of numpy operations.
+Matching is vectorized twice over: for each (gate type, fan-in) the
+engine precomputes per-cell drive slopes and capacitances, and the
+population matcher scores *all gates of one reverse logic level* for
+*all candidate lanes* in a single ``(lanes, gates, cells)`` block — a
+gate's match depends only on its successors' chosen cells, and every
+successor lives at a strictly smaller reverse level, so one block per
+level is the exact dependency order of the paper's PO-to-PI walk.  The
+fan-out load sums accumulate slot by slot in declaration order (never
+``reduceat``, which would reassociate the floating-point adds), so the
+level-batched matcher picks bitwise-identical cells to the per-gate
+walk (kept as ``MatchingEngine(level_batched=False)``).
 """
 
 from __future__ import annotations
@@ -154,12 +162,125 @@ class BatchMatchState:
         return built
 
 
-class MatchingEngine:
-    """Matches delay assignments onto a discrete cell library."""
+class _LevelBlock:
+    """Precomputed score block for one reverse logic level.
 
-    def __init__(self, circuit: Circuit, library: CellLibrary) -> None:
+    Row ``g`` of every ``(gates, cells)`` array characterizes gate
+    ``rows[g]`` under its own ``(gate type, fan-in)`` cell table; the
+    fan-out slot lists replay the scalar matcher's load accumulation —
+    slot ``k`` holds, for every gate with at least ``k + 1`` fan-outs,
+    its ``k``-th successor in declaration order, so adding the slots in
+    order performs exactly the per-gate sequential sum.
+    """
+
+    def __init__(self, engine: "MatchingEngine", idx, rows: np.ndarray) -> None:
+        circuit = engine.circuit
+        fanout_lists = [
+            tuple(idx.index[s] for s in circuit.fanouts(idx.order[row]))
+            for row in rows
+        ]
+        # Sort the level's gates by fan-out count, descending (stable):
+        # the gates slot ``k`` touches are then always a *prefix* of the
+        # level, so every per-slot update is a plain slice instead of a
+        # fancy-index gather — and any `flatnonzero` gate subset keeps
+        # the prefix property, because a subsequence of a non-increasing
+        # sequence is non-increasing.
+        order = np.argsort(
+            [-len(f) for f in fanout_lists], kind="stable"
+        )
+        self.rows = rows[order]
+        fanout_lists = [fanout_lists[pos] for pos in order]
+        gate_arrays = []
+        wire_base = np.empty(rows.size)
+        for pos, row in enumerate(self.rows):
+            gate = circuit.gate(idx.order[row])
+            gate_arrays.append(engine._cell_arrays(gate.gtype, gate.fanin_count))
+            wire_base[pos] = k.WIRE_CAP_PER_FANOUT_FF * max(
+                1, len(fanout_lists[pos])
+            )
+        self.gate_arrays = gate_arrays
+        self.wire_base = wire_base
+        self.is_out = idx.is_output[self.rows]
+        self.out_cols = np.flatnonzero(self.is_out)
+
+        self.slope = np.stack([a.slope for a in gate_arrays])
+        self.self_cap = np.stack([a.self_cap for a in gate_arrays])
+        self.input_cap = np.stack([a.input_cap for a in gate_arrays])
+        self.vdd = np.stack([a.vdd for a in gate_arrays])
+        #: ``(2, G, C)`` chosen-cell attribute stack — one gather pulls
+        #: both the input capacitance and the supply of the winners.
+        self.icap_vdd = np.stack([self.input_cap, self.vdd])
+        self.vdd_min = np.array([a.vdd_min for a in gate_arrays])
+        self.vdd_min_level = float(self.vdd_min.min())
+        self.gate_ar = np.arange(rows.size, dtype=np.int64)[np.newaxis, :]
+        #: Per-anchor-row cache of ``(ga, apos)`` anchor positions.
+        self._anchor_slots: tuple | None = None
+        #: ``[start, end)`` of this block in the engine's concatenated
+        #: plan arrays; assigned by ``MatchingEngine._level_plan``.
+        self.span = (0, rows.size)
+
+        self.fo_counts = np.array(
+            [len(f) for f in fanout_lists], dtype=np.int64
+        )
+        self.max_deg = int(self.fo_counts.max(initial=0))
+        self.fo_slots = np.full(
+            (rows.size, self.max_deg), -1, dtype=np.int64
+        )
+        for pos, fanouts in enumerate(fanout_lists):
+            self.fo_slots[pos, : len(fanouts)] = fanouts
+        #: Full-level slot plan: slot ``j`` is ``(end, fo)`` — gates
+        #: ``[:end]`` (a prefix, by the sort above) gain successor
+        #: ``fo[g]`` as their ``j``-th fan-out load contribution.
+        self.slots: list[tuple[int, np.ndarray]] = []
+        for slot in range(self.max_deg):
+            end = int(np.count_nonzero(self.fo_counts > slot))
+            self.slots.append((end, self.fo_slots[:end, slot]))
+
+        self._frugality: dict[tuple[float, float, float], np.ndarray] = {}
+
+    def frugality(self, key: tuple[float, float, float]) -> np.ndarray:
+        """Stacked ``(gates, cells)`` frugality rows for one weight
+        tuple, sourced from the per-group caches so the values are the
+        per-gate arrays bit for bit."""
+        cached = self._frugality.get(key)
+        if cached is None:
+            cached = np.stack([a.frugality(*key) for a in self.gate_arrays])
+            self._frugality[key] = cached
+        return cached
+
+    def anchor_slots(self, anchor_row: np.ndarray):
+        """``(positions, ga, apos)`` — per-gate anchor cell indices plus
+        the nonnegative (position, cell) pairs — cached per anchor-row
+        array (the engine hands the same array for every match against
+        one anchor)."""
+        cached = self._anchor_slots
+        if cached is None or cached[0] is not anchor_row:
+            positions = anchor_row[self.rows]
+            ga = np.flatnonzero(positions >= 0)
+            cached = (anchor_row, positions, ga, positions[ga])
+            self._anchor_slots = cached
+        return cached[1], cached[2], cached[3]
+
+
+class MatchingEngine:
+    """Matches delay assignments onto a discrete cell library.
+
+    ``level_batched`` selects the population matcher's schedule: the
+    default scores one ``(lanes, gates, cells)`` block per reverse
+    logic level; ``False`` keeps the original per-gate walk.  Both pick
+    bitwise-identical cells — the flag exists for differential testing
+    and benchmarking.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        level_batched: bool = True,
+    ) -> None:
         self.circuit = circuit
         self.library = library
+        self.level_batched = bool(level_batched)
         self._arrays: dict[tuple[GateType, int], _CellArrays] = {}
         self._reverse_order = tuple(
             name for name in circuit.reverse_topological_order()
@@ -219,13 +340,26 @@ class MatchingEngine:
         return out
 
     def _anchor_row(self, anchor: ParameterAssignment | None) -> np.ndarray | None:
-        """Per-row anchor cell positions (-1 where absent/ineligible)."""
+        """Per-row anchor cell positions (-1 where absent/ineligible).
+
+        Cached per anchor object: SERTOPT anchors every match of a run
+        on the one baseline assignment, so the name-keyed walk happens
+        once instead of once per ``match_batch`` call.
+        """
         if anchor is None:
             return None
+        cached = getattr(self, "_anchor_cache", None)
+        if (
+            cached is not None
+            and cached[0] is anchor
+            and cached[1] == anchor.version
+        ):
+            return cached[2]
         idx = self.circuit.indexed()
         out = np.full(idx.n_signals, -1, dtype=np.int64)
         for name, row, __f, __fa, __o, arrays in self._row_plan():
             out[row] = arrays.cell_pos.get(anchor[name], -1)
+        self._anchor_cache = (anchor, anchor.version, out)
         return out
 
     def match(
@@ -359,10 +493,44 @@ class MatchingEngine:
             raise OptimizationError(
                 f"expected (B, {idx.n_signals}) targets, got {targets.shape}"
             )
-        n_lanes = targets.shape[0]
-        plan = self._row_plan()
+        if reference is not None and changed is None:
+            raise OptimizationError(
+                "match_batch needs the changed mask when a reference "
+                "state is supplied"
+            )
         ramp_row = self._ramp_row(input_ramps)
         anchor_row = self._anchor_row(anchor)
+        frug_key = (
+            energy_weight_ps_per_fj, area_weight_ps, leakage_weight_ps_per_uw
+        )
+        if self.level_batched:
+            return self._match_batch_levelwise(
+                targets, ramp_row, anchor_row, reference, changed,
+                frug_key, anchor_bonus_ps,
+            )
+        return self._match_batch_gatewise(
+            targets, ramp_row, anchor_row, reference, changed,
+            frug_key, anchor_bonus_ps,
+        )
+
+    def _match_batch_gatewise(
+        self,
+        targets: np.ndarray,
+        ramp_row: np.ndarray,
+        anchor_row: np.ndarray | None,
+        reference: BatchMatchState | None,
+        changed: np.ndarray | None,
+        frug_key: tuple[float, float, float],
+        anchor_bonus_ps: float,
+    ) -> BatchMatchState:
+        """The per-gate population matcher (one score block per gate).
+
+        Kept verbatim as the reference schedule the level-batched
+        matcher is differentially tested against.
+        """
+        idx = self.circuit.indexed()
+        n_lanes = targets.shape[0]
+        plan = self._row_plan()
         cells = self.library.cells()
 
         if reference is None:
@@ -371,11 +539,6 @@ class MatchingEngine:
             vdd = np.zeros((n_lanes, idx.n_signals))
             dirty = None
         else:
-            if changed is None:
-                raise OptimizationError(
-                    "match_batch needs the changed mask when a reference "
-                    "state is supplied"
-                )
             shape = (n_lanes, idx.n_signals)
             cell_idx = np.broadcast_to(reference.cell_idx, shape).copy()
             input_cap = np.broadcast_to(reference.input_cap, shape).copy()
@@ -431,9 +594,7 @@ class MatchingEngine:
                 targets[:, row] if lanes is None else targets[lanes, row]
             )
             error = np.abs(delays - row_targets[:, np.newaxis])
-            frugality = arrays.frugality(
-                energy_weight_ps_per_fj, area_weight_ps, leakage_weight_ps_per_uw
-            )
+            frugality = arrays.frugality(*frug_key)
             # Fast path for the common no-constraint case: when every
             # cell clears the VDD floor (floor at or below the library
             # minimum), the eligibility mask is all-true and score ==
@@ -470,6 +631,281 @@ class MatchingEngine:
                 input_cap[lanes, row] = arrays.input_cap[best]
                 vdd[lanes, row] = arrays.vdd[best]
                 dirty[lanes, row] = best != previous
+
+        return BatchMatchState(
+            cells=cells, cell_idx=cell_idx, input_cap=input_cap, vdd=vdd
+        )
+
+    def _level_plan(self) -> tuple[_LevelBlock, ...]:
+        """Per-reverse-level score blocks (empty levels dropped).
+
+        Alongside the blocks, the concatenated per-gate arrays
+        (``_plan_rows``, ``_plan_wire``) let one call gather its
+        call-wide tensors once and hand each level a plain slice.
+        """
+        plan = getattr(self, "_levels", None)
+        if plan is None:
+            idx = self.circuit.indexed()
+            plan = tuple(
+                _LevelBlock(self, idx, rows)
+                for rows in idx.reverse_level_rows()
+                if rows.size
+            )
+            start = 0
+            for blk in plan:
+                blk.span = (start, start + blk.rows.size)
+                start += blk.rows.size
+            self._plan_rows = (
+                np.concatenate([blk.rows for blk in plan])
+                if plan
+                else np.empty(0, dtype=np.int64)
+            )
+            self._plan_wire = (
+                np.concatenate([blk.wire_base for blk in plan])
+                if plan
+                else np.empty(0)
+            )
+            self._levels = plan
+        return plan
+
+    def _score_level(
+        self,
+        blk: _LevelBlock,
+        gsel: np.ndarray | None,
+        loadv: np.ndarray,
+        vddf: np.ndarray,
+        row_targets: np.ndarray,
+        ramp_term: np.ndarray,
+        anchor_row: np.ndarray | None,
+        active_mask: np.ndarray | None,
+        frug_key: tuple[float, float, float],
+        anchor_bonus_ps: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score one level block; return ``(best, icap_vdd_of_best)``.
+
+        ``gsel`` restricts the block to a gate subset (delta path);
+        ``active_mask`` marks which ``(lane, gate)`` entries are live —
+        only they participate in the no-eligible-cell check, entries
+        outside it merely ride along in the rectangle.  Every arithmetic
+        expression matches the per-gate matcher operation for operation,
+        so the chosen cells are bitwise those of the scalar walk.
+        """
+        if gsel is None:
+            slope, self_cap = blk.slope, blk.self_cap
+            vdd_cells = blk.vdd
+            frug = blk.frugality(frug_key)
+            gate_ar = blk.gate_ar
+            icap_vdd = blk.icap_vdd
+            if anchor_row is None:
+                ga = None
+            else:
+                __, ga, apos = blk.anchor_slots(anchor_row)
+        else:
+            slope, self_cap = blk.slope[gsel], blk.self_cap[gsel]
+            vdd_cells = blk.vdd[gsel]
+            frug = blk.frugality(frug_key)[gsel]
+            gate_ar = np.arange(gsel.size, dtype=np.int64)[np.newaxis, :]
+            icap_vdd = blk.icap_vdd[:, gsel]
+            if anchor_row is None:
+                ga = None
+            else:
+                positions, __, __ = blk.anchor_slots(anchor_row)
+                sub_positions = positions[gsel]
+                ga = np.flatnonzero(sub_positions >= 0)
+                apos = sub_positions[ga]
+
+        delays = (
+            slope[np.newaxis, :, :]
+            * (self_cap[np.newaxis, :, :] + loadv[:, :, np.newaxis])
+            + ramp_term[np.newaxis, :, np.newaxis]
+        )
+        # score = |delay - target| + frugality, built in place; the
+        # anchor bonus lands before the ineligible fill below, so an
+        # ineligible anchor cell still scores inf — exactly the masked
+        # arithmetic (and the bit pattern) of the per-gate matcher.
+        score = np.abs(delays - row_targets[:, :, np.newaxis])
+        score += frug[np.newaxis, :, :]
+        if ga is not None and ga.size:
+            score[:, ga, apos] -= anchor_bonus_ps
+        # Fast path for the common no-constraint case: every group's
+        # cell menu shares one VDD floor minimum, so one level-wide
+        # comparison decides whether the eligibility mask is all-true
+        # (score stays as built — the same values the masked path
+        # produces, in fewer kernels).
+        if float(vddf.max(initial=0.0)) - 1e-12 > blk.vdd_min_level:
+            eligible = (
+                vdd_cells[np.newaxis, :, :] >= vddf[:, :, np.newaxis] - 1e-12
+            )
+            ok = eligible.any(axis=2)
+            if not ok.all():
+                if active_mask is not None:
+                    ok = ok | ~active_mask
+                if not ok.all():
+                    rows = blk.rows if gsel is None else blk.rows[gsel]
+                    bad = int(np.flatnonzero(~ok.all(axis=0))[0])
+                    name = self.circuit.indexed().order[rows[bad]]
+                    raise OptimizationError(
+                        f"no library cell satisfies the VDD floor for gate "
+                        f"{name!r}; extend the library's VDD menu"
+                    )
+            score[~eligible] = np.inf
+        best = np.argmin(score, axis=2)
+        return best, icap_vdd[:, gate_ar, best]
+
+    def _match_batch_levelwise(
+        self,
+        targets: np.ndarray,
+        ramp_row: np.ndarray,
+        anchor_row: np.ndarray | None,
+        reference: BatchMatchState | None,
+        changed: np.ndarray | None,
+        frug_key: tuple[float, float, float],
+        anchor_bonus_ps: float,
+    ) -> BatchMatchState:
+        """The level-batched population matcher.
+
+        One ``(lanes, gates, cells)`` score block per reverse logic
+        level replaces the per-gate walk: every successor of a level's
+        gates was finalized at a smaller reverse level, so the block
+        sees exactly the loads and VDD floors the scalar walk would.
+        Fan-out load updates accumulate slot by slot in declaration
+        order (a fixed-order segment sum, never ``reduceat``), keeping
+        the chosen cells bitwise identical.  The delta fast path scores
+        only the rectangle of lanes × gates the dirty wave can reach,
+        with untouched entries copied from the reference.
+        """
+        idx = self.circuit.indexed()
+        n_lanes = targets.shape[0]
+        plan = self._level_plan()
+        cells = self.library.cells()
+        rows_all = self._plan_rows
+        # Call-wide tensors, one gather each; every level reads a plain
+        # slice (the blocks are laid out contiguously in level order).
+        targets_all = targets[:, rows_all]
+        ramp_all = k.RAMP_DELAY_FRACTION * ramp_row[rows_all]
+        loadv_all = np.repeat(self._plan_wire[np.newaxis, :], n_lanes, axis=0)
+        vddf_all = np.zeros((n_lanes, rows_all.size))
+
+        if reference is None:
+            cell_idx = np.full((n_lanes, idx.n_signals), -1, dtype=np.int64)
+            # The chosen input capacitance and supply live stacked in one
+            # ``(2, B, V)`` tensor so load accumulation reads and winner
+            # write-back each cost a single kernel for both quantities.
+            state = np.zeros((2, n_lanes, idx.n_signals))
+            input_cap, vdd = state[0], state[1]
+
+            for blk in plan:
+                rows = blk.rows
+                s, e = blk.span
+                loadv = loadv_all[:, s:e]
+                vddf = vddf_all[:, s:e]
+                for end, fo in blk.slots:
+                    loadv[:, :end] += input_cap[:, fo]
+                    vddf[:, :end] = np.maximum(vddf[:, :end], vdd[:, fo])
+                if blk.out_cols.size:
+                    loadv[:, blk.out_cols] += k.LATCH_CAP_FF
+                best, chosen = self._score_level(
+                    blk,
+                    None,
+                    loadv,
+                    vddf,
+                    targets_all[:, s:e],
+                    ramp_all[s:e],
+                    anchor_row,
+                    None,
+                    frug_key,
+                    anchor_bonus_ps,
+                )
+                cell_idx[:, rows] = best
+                state[:, :, rows] = chosen
+
+            return BatchMatchState(
+                cells=cells, cell_idx=cell_idx, input_cap=input_cap, vdd=vdd
+            )
+
+        shape = (n_lanes, idx.n_signals)
+        changed = np.asarray(changed, dtype=bool)
+        cell_idx = np.broadcast_to(reference.cell_idx, shape).copy()
+        state = np.empty((2, n_lanes, idx.n_signals))
+        state[0] = reference.input_cap
+        state[1] = reference.vdd
+        input_cap, vdd = state[0], state[1]
+        dirty = np.zeros(shape, dtype=bool)
+        mask_all = changed[:, rows_all]
+
+        for blk in plan:
+            rows = blk.rows
+            s, e = blk.span
+            # Exact per-lane dirtiness: a (lane, gate) entry rescores
+            # iff its own target changed or a successor's chosen cell
+            # did — the dirty wave of the scalar walk, one slot slice
+            # per fan-out position.
+            mask = mask_all[:, s:e]
+            for end, fo in blk.slots:
+                mask[:, :end] |= dirty[:, fo]
+            gsel = np.flatnonzero(mask.any(axis=0))
+            if gsel.size == 0:
+                continue
+            # Mostly-active levels run the slice-based full-level block:
+            # scoring the few inactive gates costs less than subsetting
+            # every tensor, and their writes are mask-gated anyway.
+            if 3 * gsel.size >= 2 * rows.size:
+                gsel_idx = None
+                rows_g = rows
+                sub_mask = mask
+                loadv = loadv_all[:, s:e]
+                vddf = vddf_all[:, s:e]
+                for end, fo in blk.slots:
+                    loadv[:, :end] += input_cap[:, fo]
+                    vddf[:, :end] = np.maximum(vddf[:, :end], vdd[:, fo])
+                if blk.out_cols.size:
+                    loadv[:, blk.out_cols] += k.LATCH_CAP_FF
+                row_targets = targets_all[:, s:e]
+                ramp_term = ramp_all[s:e]
+            else:
+                gsel_idx = gsel
+                rows_g = rows[gsel]
+                sub_mask = mask[:, gsel]
+                sub_counts = blk.fo_counts[gsel]
+                sub_slots = blk.fo_slots[gsel]
+                loadv = np.repeat(
+                    blk.wire_base[gsel][np.newaxis, :], n_lanes, axis=0
+                )
+                vddf = np.zeros((n_lanes, gsel.size))
+                for slot in range(blk.max_deg):
+                    # The fan-out-count sort survives subsetting, so the
+                    # gates with a slot-`slot` successor are a prefix.
+                    end = int(np.count_nonzero(sub_counts > slot))
+                    if end == 0:
+                        break
+                    fo = sub_slots[:end, slot]
+                    loadv[:, :end] += input_cap[:, fo]
+                    vddf[:, :end] = np.maximum(vddf[:, :end], vdd[:, fo])
+                out_sel = np.flatnonzero(blk.is_out[gsel])
+                if out_sel.size:
+                    loadv[:, out_sel] += k.LATCH_CAP_FF
+                row_targets = targets_all[:, s:e][:, gsel]
+                ramp_term = ramp_all[s:e][gsel]
+
+            best, chosen = self._score_level(
+                blk,
+                gsel_idx,
+                loadv,
+                vddf,
+                row_targets,
+                ramp_term,
+                anchor_row,
+                sub_mask,
+                frug_key,
+                anchor_bonus_ps,
+            )
+            previous = cell_idx[:, rows_g]
+            new_cells = np.where(sub_mask, best, previous)
+            cell_idx[:, rows_g] = new_cells
+            state[:, :, rows_g] = np.where(
+                sub_mask[np.newaxis], chosen, state[:, :, rows_g]
+            )
+            dirty[:, rows_g] = sub_mask & (new_cells != previous)
 
         return BatchMatchState(
             cells=cells, cell_idx=cell_idx, input_cap=input_cap, vdd=vdd

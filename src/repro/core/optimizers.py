@@ -425,6 +425,7 @@ def run_optimizer(
     max_evaluations: int,
     seed: int = 0,
     objective_batch: BatchObjective | None = None,
+    probe_batch: int | None = None,
 ) -> OptimizeResult:
     """Dispatch to a registered optimizer by name.
 
@@ -433,6 +434,13 @@ def run_optimizer(
     probes of each sweep (visiting *identical* points on an identical
     budget), annealing scores proposal populations, and SLSQP evaluates
     its finite-difference gradient points in one call.
+
+    ``probe_batch`` sizes those populations (the coordinate driver's
+    probe chunk / annealing's proposal batch; SLSQP's gradient batch is
+    fixed at ``D + 1`` by the finite difference).  ``None`` keeps each
+    driver's default.  The replay accounting makes the visited points
+    independent of the value — only block width, and therefore
+    wall-clock, changes.
     """
     try:
         driver = OPTIMIZERS[method]
@@ -440,12 +448,21 @@ def run_optimizer(
         raise OptimizationError(
             f"unknown optimizer {method!r}; choose from {sorted(OPTIMIZERS)}"
         ) from None
+    if probe_batch is not None and probe_batch < 1:
+        raise OptimizationError(
+            f"probe_batch must be >= 1, got {probe_batch}"
+        )
     if method == "slsqp":
         return driver(
             objective, x0, bounds_halfwidth, max_evaluations,
             objective_batch=objective_batch,
         )
+    extra: dict[str, int] = {}
+    if probe_batch is not None:
+        extra["batch_chunk" if method == "coordinate" else "batch_size"] = (
+            probe_batch
+        )
     return driver(
         objective, x0, bounds_halfwidth, max_evaluations, seed=seed,
-        objective_batch=objective_batch,
+        objective_batch=objective_batch, **extra,
     )

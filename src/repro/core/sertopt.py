@@ -74,6 +74,18 @@ class SertoptConfig:
     #: ``batched_evaluation=False`` to reproduce pre-batching seeded
     #: runs of those two drivers (also the benchmark baseline).
     batched_evaluation: bool = True
+    #: Schedule of the population matcher: the default scores one
+    #: ``(lanes, gates, cells)`` block per reverse logic level;
+    #: ``False`` pins the original per-gate walk.  Both choose bitwise
+    #: identical cells (differentially tested), so this only trades
+    #: wall-clock — the flag exists for benchmarking the two schedules
+    #: against each other.
+    level_batched_matching: bool = True
+    #: Probes evaluated per population call by the batched drivers
+    #: (coordinate probe chunk / annealing proposal batch).  ``None``
+    #: keeps each driver's default; the visited points are identical
+    #: for every value — larger batches only widen the score blocks.
+    probe_batch: int | None = None
     #: ASERTA settings used inside the cost loop.
     aserta: AsertaConfig = field(default_factory=AsertaConfig)
 
@@ -82,11 +94,24 @@ class SertoptConfig:
             raise OptimizationError("max_evaluations must be >= 1")
         if self.coefficient_bound_ps <= 0.0:
             raise OptimizationError("coefficient_bound_ps must be > 0")
+        if self.probe_batch is not None and self.probe_batch < 1:
+            raise OptimizationError(
+                f"probe_batch must be >= 1, got {self.probe_batch}"
+            )
 
 
 @dataclass(frozen=True)
 class SertoptResult:
-    """Everything one SERTOPT run produces (one Table-1 row)."""
+    """Everything one SERTOPT run produces (one Table-1 row).
+
+    ``baseline``/``optimized`` are Equation-5 :class:`CostBreakdown`\\ s
+    of the speed-optimized starting point and the returned assignment;
+    the ``*_ratio`` properties are optimized-over-baseline (delay,
+    energy, area — dimensionless), and
+    :attr:`unreliability_reduction` is the fractional decrease in U,
+    the paper's headline column.  ``runtime_s`` is wall seconds for the
+    whole flow.
+    """
 
     circuit_name: str
     baseline_assignment: ParameterAssignment
@@ -217,7 +242,13 @@ class _BatchedObjective:
             targets = np.stack(
                 [self._target_row(X[lanes[0]]) for __, lanes in pending]
             )
-            reference = self._reference(base) if base is not None else None
+            # The delta fast path pays off for the per-gate matcher (it
+            # skips whole gates); the level-batched matcher's full pass
+            # costs about the same as its delta pass on coordinate-probe
+            # populations, so skipping the reference match is the faster
+            # schedule there.  Cells are bitwise identical either way.
+            use_reference = base is not None and not self.engine.level_batched
+            reference = self._reference(base) if use_reference else None
             state = self.engine.match_with_timing_batch(
                 targets,
                 self.ramp_row,
@@ -235,7 +266,17 @@ class _BatchedObjective:
 
 
 class Sertopt:
-    """Optimizer bound to one circuit and one cell library."""
+    """The SERTOPT flow bound to one circuit and one cell library.
+
+    Construct with a :class:`~repro.circuit.netlist.Circuit`, optionally
+    a :class:`~repro.tech.library.CellLibrary` (default: the paper's
+    Table-1 library), a :class:`SertoptConfig` and a shared
+    :class:`~repro.engine.engine.AnalysisEngine` (lets the
+    sizing-invariant structural pass come from the artifact cache);
+    then call :meth:`optimize`, which returns a :class:`SertoptResult`.
+    One instance may optimize repeatedly — the analyzer, compiled
+    matching plans and cached path sample are reused across calls.
+    """
 
     def __init__(
         self,
@@ -289,7 +330,11 @@ class Sertopt:
             seed=config.seed,
             max_dimension=config.max_dimension,
         )
-        engine = MatchingEngine(self.circuit, self.library)
+        engine = MatchingEngine(
+            self.circuit,
+            self.library,
+            level_batched=config.level_batched_matching,
+        )
         ramps = dict(target_elec.input_ramp_ps)
         baseline_delay = analyze_timing(
             self.circuit, target_elec.delay_ps
@@ -344,6 +389,19 @@ class Sertopt:
             objective = objective_batch.single
 
         x0 = np.zeros(space.dimension)
+        probe_batch = config.probe_batch
+        if (
+            probe_batch is None
+            and objective_batch is not None
+            and config.optimizer == "coordinate"
+            and config.level_batched_matching
+        ):
+            # Narrower probe chunks suit the level-batched matcher: its
+            # per-level cost is nearly lane-count-independent, so small
+            # populations waste less speculative work when a probe is
+            # accepted mid-chunk.  Visited points are identical for any
+            # chunk size (replay accounting); this is wall-clock only.
+            probe_batch = 4
         search = run_optimizer(
             config.optimizer,
             objective,
@@ -352,6 +410,7 @@ class Sertopt:
             max_evaluations=config.max_evaluations,
             seed=config.seed,
             objective_batch=objective_batch,
+            probe_batch=probe_batch,
         )
 
         best_assignment = engine.match_with_timing(

@@ -51,7 +51,18 @@ _STACKED_KINDS = ("input_cap", "ramp", "delay", "glitch", "static_power")
 
 
 class AnalysisEngine:
-    """Build-or-serve facade over the compiled-artifact cache."""
+    """Build-or-serve facade over the compiled-artifact cache.
+
+    Analyzers, campaigns and SERTOPT runs that share one engine share
+    every sizing-invariant compiled artifact — ``P_ij`` matrices,
+    Equation-2 masking structures, compiled structural schedules and
+    stacked LUT tensors — keyed by netlist content digest plus the
+    estimation protocol.  Pass ``cache_dir`` (a directory path) to add
+    a persistent on-disk ``npz`` tier shared across processes, and
+    ``max_disk_bytes`` to bound it with LRU-by-mtime eviction.
+    Counters (:attr:`structural_sim_runs`, ``stats``) expose how much
+    real simulation work the engine has done versus served from cache.
+    """
 
     def __init__(
         self,
@@ -223,7 +234,11 @@ _DEFAULT_ENGINE: AnalysisEngine | None = None
 
 
 def get_default_engine() -> AnalysisEngine:
-    """The process-wide engine used when none is passed explicitly."""
+    """The process-wide engine used when none is passed explicitly.
+
+    Created lazily on first use (in-memory cache only); replace or
+    reset it with :func:`set_default_engine`.
+    """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
         _DEFAULT_ENGINE = AnalysisEngine()

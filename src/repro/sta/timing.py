@@ -44,6 +44,17 @@ def analyze_timing(
     ``delays`` maps every logic gate to its propagation delay in ps.
     The required time at every primary output is the circuit delay, so
     gates on the critical path have zero slack.
+
+    >>> from repro.circuit.gate import GateType
+    >>> from repro.circuit.netlist import Circuit
+    >>> c = Circuit()
+    >>> a = c.add_input("a")
+    >>> g1 = c.add_gate("g1", GateType.NOT, [a])
+    >>> g2 = c.add_gate("g2", GateType.NOT, [g1])
+    >>> c.mark_output(g2)
+    >>> report = analyze_timing(c, {"g1": 10.0, "g2": 5.0})
+    >>> report.delay_ps, report.slack_ps("g1")
+    (15.0, 0.0)
     """
     arrival: dict[str, float] = {}
     for name in circuit.topological_order():
@@ -95,28 +106,19 @@ class BatchTimingReport:
         return self.required_ps - self.arrival_ps
 
 
-def _ragged_segments(ptr: np.ndarray, rows: np.ndarray):
-    """Flattened CSR segment indices + segment starts for ``rows``."""
-    counts = ptr[rows + 1] - ptr[rows]
-    present = counts > 0
-    rows = rows[present]
-    counts = counts[present]
-    if rows.size == 0:
-        return rows, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    flat = np.repeat(ptr[rows] - starts, counts) + np.arange(
-        int(counts.sum()), dtype=np.int64
-    )
-    return rows, flat, starts
-
-
 def analyze_timing_batch(indexed, delays: np.ndarray) -> BatchTimingReport:
     """Longest-path analysis for ``(B, V)`` per-row delay vectors.
 
     The level-synchronized batched form of :func:`analyze_timing`:
     arrival times sweep forward one logic level at a time (max over
-    fan-ins via ``reduceat``), required times sweep backward, and every
-    lane's numbers are exactly those of the scalar walk.
+    fan-ins via ``reduceat`` — max and min are exact, so segment
+    reassociation cannot change a bit), required times sweep backward,
+    and every lane's numbers are exactly those of the scalar walk.  The
+    per-level gather plans come precomputed from
+    :meth:`IndexedCircuit.fanin_level_segments` /
+    :meth:`~IndexedCircuit.fanout_level_segments`, so one call does no
+    level bookkeeping of its own — this runs inside every timing-repair
+    round of the batched matcher.
     """
     delays = np.asarray(delays, dtype=np.float64)
     if delays.ndim != 2 or delays.shape[1] != indexed.n_signals:
@@ -126,19 +128,10 @@ def analyze_timing_batch(indexed, delays: np.ndarray) -> BatchTimingReport:
     if np.any(delays[:, indexed.gate_rows] < 0.0):
         raise AnalysisError("negative delay in batched timing analysis")
     n_lanes = delays.shape[0]
-    levels = indexed.level
-    gate_rows = indexed.gate_rows
-    gate_levels = levels[gate_rows]
 
     arrival = np.zeros((n_lanes, indexed.n_signals))
-    for level in np.unique(gate_levels):
-        rows = gate_rows[gate_levels == level]
-        rows, flat, starts = _ragged_segments(indexed.fanin_ptr, rows)
-        if rows.size == 0:
-            continue
-        worst = np.maximum.reduceat(
-            arrival[:, indexed.fanin_src[flat]], starts, axis=1
-        )
+    for rows, srcs, starts in indexed.fanin_level_segments():
+        worst = np.maximum.reduceat(arrival[:, srcs], starts, axis=1)
         arrival[:, rows] = delays[:, rows] + worst
 
     circuit_delay = arrival[:, indexed.output_rows].max(axis=1)
@@ -148,12 +141,7 @@ def analyze_timing_batch(indexed, delays: np.ndarray) -> BatchTimingReport:
         circuit_delay[:, np.newaxis],
         np.inf,
     )
-    for level in np.unique(levels)[::-1]:
-        rows = np.flatnonzero(levels == level)
-        rows, flat, starts = _ragged_segments(indexed.fanout_ptr, rows)
-        if rows.size == 0:
-            continue
-        dst = indexed.edge_dst[flat]
+    for rows, dst, starts in indexed.fanout_level_segments():
         successor_required = np.minimum.reduceat(
             required[:, dst] - delays[:, dst], starts, axis=1
         )

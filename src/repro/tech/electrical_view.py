@@ -102,12 +102,11 @@ def _population_loads(indexed, input_cap: np.ndarray) -> np.ndarray:
         1, fanout_counts
     ).astype(np.float64)
     load = np.tile(base_load, (input_cap.shape[0], 1))
-    lanes = np.arange(input_cap.shape[0])[:, np.newaxis]
-    np.add.at(
-        load,
-        (lanes, indexed.edge_src[np.newaxis, :]),
-        input_cap[:, indexed.edge_dst],
-    )
+    # Unique-source slots replay np.add.at's per-source CSR accumulation
+    # order (successor caps add in fan-out declaration order) with plain
+    # fancy-index adds — same bits, far fewer scatter passes.
+    for srcs, dsts in indexed.fanout_slot_plan():
+        load[:, srcs] += input_cap[:, dsts]
     load[:, indexed.is_output] += k.LATCH_CAP_FF
     return load
 
@@ -520,7 +519,8 @@ class CircuitElectrical:
         load = k.WIRE_CAP_PER_FANOUT_FF * np.maximum(1, fanout_counts).astype(
             np.float64
         )
-        np.add.at(load, idx.edge_src, input_cap[idx.edge_dst])
+        for srcs, dsts in idx.fanout_slot_plan():
+            load[srcs] += input_cap[dsts]
         load[idx.is_output] += k.LATCH_CAP_FF
         br_load = bracket_queries(tables.loads_ff, load[rows], "load")
 

@@ -18,7 +18,20 @@ from repro.tech.mosfet import size_to_width_nm, validate_device
 
 @dataclass(frozen=True, order=True)
 class CellParams:
-    """One gate's electrical operating point."""
+    """One gate's electrical operating point.
+
+    ``size`` is the drive strength relative to the nominal cell
+    (size 1 = 100 nm device width), ``length_nm`` the channel length in
+    nanometres, ``vdd``/``vth`` the supply and threshold voltages in
+    volts.  Values are validated against the device model on
+    construction.  Frozen and orderable, so cells can key dicts and
+    sort deterministically:
+
+    >>> CellParams()  # the Table-1 nominal operating point
+    CellParams(size=1.0, length_nm=70.0, vdd=1.0, vth=0.2)
+    >>> CellParams(size=2.0).size
+    2.0
+    """
 
     size: float = 1.0
     length_nm: float = k.NOMINAL_LENGTH_NM
@@ -44,7 +57,21 @@ DEFAULT_SIZES: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
 
 
 class CellLibrary:
-    """The discrete menu of cells SERTOPT may assign to a gate."""
+    """The discrete menu of cells SERTOPT may assign to a gate.
+
+    The library is the cross product of its four axes (``sizes``,
+    ``lengths_nm`` in nm, ``vdds``/``vths`` in volts) minus illegal
+    combinations (VDD <= Vth).  :meth:`paper_library` reproduces the
+    menus of the paper's Table-1 experiments.
+
+    >>> lib = CellLibrary(sizes=(1.0, 2.0), lengths_nm=(70.0,),
+    ...                   vdds=(0.8, 1.0), vths=(0.2,))
+    >>> len(lib)
+    4
+    >>> lib.cells_with_vdd_at_least(1.0) == tuple(
+    ...     c for c in lib.cells() if c.vdd >= 1.0)
+    True
+    """
 
     def __init__(
         self,
@@ -133,6 +160,13 @@ class ParameterAssignment:
 
     Gates without an explicit entry use the ``default`` cell, so a
     freshly-constructed assignment is the uniform nominal design.
+
+    >>> asg = ParameterAssignment()
+    >>> asg["any_gate"] == NOMINAL_CELL
+    True
+    >>> asg.set("g1", CellParams(vdd=1.2))
+    >>> asg["g1"].vdd, asg.distinct_vdds()
+    (1.2, (1.0, 1.2))
     """
 
     def __init__(
@@ -142,12 +176,17 @@ class ParameterAssignment:
     ) -> None:
         self.default = default
         self._overrides: dict[str, CellParams] = dict(overrides or {})
+        #: Monotonic mutation counter; bumped by :meth:`set` so derived
+        #: caches (e.g. the matching engine's anchor rows) can detect an
+        #: in-place edit without hashing every entry.
+        self.version = 0
 
     def __getitem__(self, gate_name: str) -> CellParams:
         return self._overrides.get(gate_name, self.default)
 
     def set(self, gate_name: str, params: CellParams) -> None:
         self._overrides[gate_name] = params
+        self.version += 1
 
     def overrides(self) -> dict[str, CellParams]:
         return dict(self._overrides)

@@ -221,14 +221,37 @@ def bracket_queries_rows(
             f"bracket_queries_rows needs (B, M) grids and (B, ...) values; "
             f"got {grids.shape} and {values.shape}"
         )
-    low = np.empty(values.shape, dtype=np.int64)
-    high = np.empty(values.shape, dtype=np.int64)
-    frac = np.empty(values.shape, dtype=np.float64)
-    for row in range(grids.shape[0]):
-        low[row], high[row], frac[row] = _bracket_array(
-            grids[row], values[row], name
-        )
-    return low, high, frac
+    if np.isnan(values).any():
+        raise TableError(f"coordinate for axis {name!r} is NaN")
+    if grids.shape[1] == 1:
+        zero_i = np.zeros(values.shape, dtype=np.int64)
+        return zero_i, zero_i, np.zeros(values.shape)
+    # All rows resolve at once: counting grid points <= value reproduces
+    # np.searchsorted(..., side="right") exactly, and the clamp/fraction
+    # expressions below are those of _bracket_array verbatim — so every
+    # row is bit-identical to the single-grid path, without the per-row
+    # Python loop (this runs twice per population masking sweep).
+    flat = values.reshape(values.shape[0], -1)
+    high = np.sum(
+        grids[:, np.newaxis, :] <= flat[:, :, np.newaxis], axis=2
+    )
+    high = np.minimum(np.maximum(high, 1), grids.shape[1] - 1)
+    low = high - 1
+    row_ar = np.arange(grids.shape[0])[:, np.newaxis]
+    grid_low = grids[row_ar, low]
+    grid_high = grids[row_ar, high]
+    frac = (flat - grid_low) / (grid_high - grid_low)
+    frac = np.minimum(np.maximum(frac, 0.0), 1.0)
+    at_top = flat >= grids[:, -1:]
+    top = grids.shape[1] - 1
+    low = np.where(at_top, top, low)
+    high = np.where(at_top, top, high)
+    frac = np.where(at_top | (flat <= grids[:, :1]), 0.0, frac)
+    return (
+        low.reshape(values.shape),
+        high.reshape(values.shape),
+        frac.reshape(values.shape),
+    )
 
 
 def stacked_lookup(
@@ -258,14 +281,14 @@ def stacked_lookup(
         shape = (1,) * axis + (2,) + (1,) * (d - axis - 1) + tail
         index.append(pair.reshape(shape))
     corners = stack[tuple(index)]
-    for axis in range(d):
-        frac = brackets[axis][2]
-        low_val, high_val = corners[0], corners[1]
-        with np.errstate(invalid="ignore"):
+    with np.errstate(invalid="ignore"):
+        for axis in range(d):
+            frac = brackets[axis][2]
+            low_val, high_val = corners[0], corners[1]
             blend = low_val * (1.0 - frac) + high_val * frac
-        corners = np.where(
-            frac == 0.0, low_val, np.where(frac == 1.0, high_val, blend)
-        )
+            corners = np.where(
+                frac == 0.0, low_val, np.where(frac == 1.0, high_val, blend)
+            )
     return corners
 
 

@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.circuit.generator import GeneratorSpec, generate_circuit
-from repro.circuit.iscas85 import iscas85_circuit
+from repro.circuit.iscas85 import iscas85_circuit, iscas85_names
 from repro.core.aserta import AsertaAnalyzer, AsertaConfig
 from repro.core.baseline import size_for_speed
 from repro.core.cost import CostEvaluator
@@ -391,6 +391,225 @@ class TestBatchedMatching:
         materialized = cell_param_arrays(idx, state.assignment(0, idx.order))
         for field in ("size", "length_nm", "vdd", "vth"):
             np.testing.assert_array_equal(params[field][0], materialized[field])
+
+
+def _make_engines(circuit, library):
+    return (
+        MatchingEngine(circuit, library, level_batched=False),
+        MatchingEngine(circuit, library, level_batched=True),
+    )
+
+
+def _assert_states_equal(a, b, context=""):
+    np.testing.assert_array_equal(a.cell_idx, b.cell_idx, err_msg=context)
+    np.testing.assert_array_equal(a.input_cap, b.input_cap, err_msg=context)
+    np.testing.assert_array_equal(a.vdd, b.vdd, err_msg=context)
+
+
+class TestLevelBatchedMatcher:
+    """Level-batched vs per-gate matcher: *exact* differentials.
+
+    The tentpole contract of the level-batched schedule is bitwise
+    identity with the per-gate walk — same cells, same capacitances,
+    same supplies, no tolerance — across every ISCAS'85 netlist, the
+    generator families, and the level-shape edge cases (single-gate
+    levels, fan-out-bearing primary outputs, dead levels under the
+    dirty wave).
+    """
+
+    LIBRARY = CellLibrary.paper_library(vdds=(0.8, 1.0), vths=(0.2,))
+
+    def _random_targets(self, circuit, lanes, seed):
+        idx = circuit.indexed()
+        rng = np.random.default_rng(seed)
+        targets = rng.uniform(0.5, 400.0, size=(lanes, idx.n_signals))
+        return targets
+
+    @pytest.mark.parametrize("name", iscas85_names())
+    def test_all_iscas_bitwise(self, name):
+        circuit = iscas85_circuit(name)
+        lanes = 4 if circuit.gate_count < 1000 else 2
+        targets = self._random_targets(circuit, lanes, seed=13)
+        ramps = {}
+        anchor = ParameterAssignment()
+        gate_eng, level_eng = _make_engines(circuit, self.LIBRARY)
+        full_g = gate_eng.match_batch(targets, ramps, anchor=anchor)
+        full_l = level_eng.match_batch(targets, ramps, anchor=anchor)
+        _assert_states_equal(full_g, full_l, f"{name} full pass")
+
+        # Delta pass against a one-lane reference, mixed sparse deltas.
+        base = self._random_targets(circuit, 1, seed=14)[0]
+        ref_g = gate_eng.match_batch(base[np.newaxis, :], ramps, anchor=anchor)
+        ref_l = level_eng.match_batch(
+            base[np.newaxis, :], ramps, anchor=anchor
+        )
+        _assert_states_equal(ref_g, ref_l, f"{name} reference")
+        idx = circuit.indexed()
+        rng = np.random.default_rng(15)
+        delta_targets = np.tile(base, (lanes, 1))
+        for lane in range(lanes):
+            picks = rng.choice(
+                idx.gate_rows, size=max(1, idx.n_gates // 8), replace=False
+            )
+            delta_targets[lane, picks] *= rng.uniform(0.4, 2.5, picks.size)
+        changed = delta_targets != base[np.newaxis, :]
+        delta_g = gate_eng.match_batch(
+            delta_targets, ramps, anchor=anchor,
+            reference=ref_g, changed=changed,
+        )
+        delta_l = level_eng.match_batch(
+            delta_targets, ramps, anchor=anchor,
+            reference=ref_l, changed=changed,
+        )
+        _assert_states_equal(delta_g, delta_l, f"{name} delta pass")
+        # ... and the dirty wave must land on the full recompute exactly.
+        full_delta = level_eng.match_batch(
+            delta_targets, ramps, anchor=anchor
+        )
+        _assert_states_equal(delta_l, full_delta, f"{name} wave vs full")
+
+    @pytest.mark.parametrize("spec", SPECS, ids=[s.name for s in SPECS])
+    def test_generator_circuits_bitwise(self, spec):
+        circuit = generate_circuit(spec)
+        targets = self._random_targets(circuit, 5, seed=21)
+        gate_eng, level_eng = _make_engines(circuit, self.LIBRARY)
+        full_g = gate_eng.match_batch(targets, {}, anchor=None)
+        full_l = level_eng.match_batch(targets, {}, anchor=None)
+        _assert_states_equal(full_g, full_l, spec.name)
+
+    def test_chain_single_gate_levels(self):
+        """A pure inverter chain: every reverse level holds one gate."""
+        from repro.circuit.gate import GateType
+        from repro.circuit.netlist import Circuit
+
+        circuit = Circuit("chain")
+        signal = circuit.add_input("a")
+        for step in range(12):
+            signal = circuit.add_gate(f"n{step}", GateType.NOT, [signal])
+        circuit.mark_output(signal)
+        assert int(circuit.indexed().reverse_level.max()) == 12
+        targets = self._random_targets(circuit, 6, seed=3)
+        gate_eng, level_eng = _make_engines(circuit, self.LIBRARY)
+        _assert_states_equal(
+            gate_eng.match_batch(targets, {}, anchor=None),
+            level_eng.match_batch(targets, {}, anchor=None),
+            "chain",
+        )
+
+    def test_po_with_fanout_latch_order(self):
+        """A primary output that also drives gates: the latch cap must
+        add *after* the successor pin caps, in both schedules."""
+        from repro.circuit.gate import GateType
+        from repro.circuit.netlist import Circuit
+
+        circuit = Circuit("po-fanout")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        mid = circuit.add_gate("mid", GateType.NAND, [a, b])
+        circuit.mark_output(mid)  # PO *and* internal driver
+        for branch in range(3):
+            leaf = circuit.add_gate(f"leaf{branch}", GateType.NOR, [mid, a])
+            circuit.mark_output(leaf)
+        targets = self._random_targets(circuit, 4, seed=5)
+        gate_eng, level_eng = _make_engines(circuit, self.LIBRARY)
+        _assert_states_equal(
+            gate_eng.match_batch(targets, {}, anchor=None),
+            level_eng.match_batch(targets, {}, anchor=None),
+            "po-fanout",
+        )
+
+    def test_dirty_wave_mixed_patterns(self):
+        """Delta patterns from no-op to whole-circuit: the wave must
+        stop, spread, and copy untouched entries exactly like the
+        reference implementation."""
+        circuit = iscas85_circuit("c880")
+        idx = circuit.indexed()
+        base = self._random_targets(circuit, 1, seed=31)[0]
+        gate_eng, level_eng = _make_engines(circuit, self.LIBRARY)
+        ref_g = gate_eng.match_batch(base[np.newaxis, :], {}, anchor=None)
+        ref_l = level_eng.match_batch(base[np.newaxis, :], {}, anchor=None)
+        rng = np.random.default_rng(32)
+        lanes = 5
+        targets = np.tile(base, (lanes, 1))
+        # lane 0: untouched; lane 1: one deep gate; lane 2: one PO-side
+        # gate; lane 3: a third of the circuit; lane 4: every gate.
+        targets[1, idx.gate_rows[0]] *= 1.7
+        targets[2, idx.gate_rows[-1]] *= 0.3
+        third = rng.choice(idx.gate_rows, size=idx.n_gates // 3, replace=False)
+        targets[3, third] *= rng.uniform(0.5, 2.0, third.size)
+        targets[4, idx.gate_rows] *= rng.uniform(
+            0.6, 1.6, idx.gate_rows.size
+        )
+        changed = targets != base[np.newaxis, :]
+        assert not changed[0].any()
+        delta_g = gate_eng.match_batch(
+            targets, {}, anchor=None, reference=ref_g, changed=changed
+        )
+        delta_l = level_eng.match_batch(
+            targets, {}, anchor=None, reference=ref_l, changed=changed
+        )
+        _assert_states_equal(delta_g, delta_l, "mixed wave")
+        np.testing.assert_array_equal(
+            delta_l.cell_idx[0], ref_l.cell_idx[0]
+        )
+        _assert_states_equal(
+            delta_l, level_eng.match_batch(targets, {}, anchor=None),
+            "wave vs full",
+        )
+
+    def test_match_with_timing_batch_schedules_agree(self):
+        circuit = iscas85_circuit("c499")
+        library = CellLibrary.paper_library(vdds=(0.8, 1.0), vths=(0.2, 0.3))
+        baseline = size_for_speed(circuit, library)
+        elec = CircuitElectrical(circuit, baseline, use_tables=False)
+        idx = circuit.indexed()
+        base_targets = idx.gather(elec.delay_ps)
+        ramps = dict(elec.input_ramp_ps)
+        cap = analyze_timing(circuit, elec.delay_ps).delay_ps * 1.25
+        rng = np.random.default_rng(41)
+        targets = np.tile(base_targets, (4, 1))
+        targets[1] = base_targets * 3.0  # forces the repair loop
+        for lane in (0, 2, 3):
+            picks = rng.choice(idx.gate_rows, size=20, replace=False)
+            targets[lane, picks] *= rng.uniform(0.5, 3.0, picks.size)
+        gate_eng = MatchingEngine(circuit, library, level_batched=False)
+        level_eng = MatchingEngine(circuit, library, level_batched=True)
+        _assert_states_equal(
+            gate_eng.match_with_timing_batch(
+                targets, ramps, cap, anchor=baseline
+            ),
+            level_eng.match_with_timing_batch(
+                targets, ramps, cap, anchor=baseline
+            ),
+            "timing repair",
+        )
+
+    def test_scalar_match_agrees_with_level_batch(self):
+        circuit = iscas85_circuit("c17")
+        library = CellLibrary.paper_library(vdds=(0.8, 1.0), vths=(0.2, 0.3))
+        level_eng = MatchingEngine(circuit, library, level_batched=True)
+        idx = circuit.indexed()
+        targets = self._random_targets(circuit, 1, seed=51)
+        state = level_eng.match_batch(targets, {}, anchor=None)
+        serial = level_eng.match(
+            {
+                name: float(targets[0, idx.index[name]])
+                for name in level_eng._reverse_order
+            },
+            {},
+        )
+        batched = state.assignment(0, idx.order)
+        for name in level_eng._reverse_order:
+            assert batched[name] == serial[name], name
+
+    def test_empty_population(self):
+        circuit = iscas85_circuit("c17")
+        idx = circuit.indexed()
+        empty = np.empty((0, idx.n_signals))
+        gate_eng, level_eng = _make_engines(circuit, self.LIBRARY)
+        for engine in (gate_eng, level_eng):
+            state = engine.match_batch(empty, {}, anchor=None)
+            assert state.cell_idx.shape == (0, idx.n_signals)
 
 
 class TestBatchedCost:

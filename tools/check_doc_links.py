@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Check internal links in the repository's markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and verifies
+that every *relative* target resolves to an existing file or directory
+(anchors are stripped; external ``http(s)``/``mailto`` links are
+ignored).  Exits non-zero listing every broken link — CI runs this in
+the docs job so the guides can't silently rot as files move.
+
+Usage: python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Inline code spans (may legitimately contain bracket/paren text).
+CODE_SPAN = re.compile(r"`[^`]*`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files():
+    yield ROOT / "README.md"
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    in_code_block = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.strip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for match in LINK.finditer(CODE_SPAN.sub("", line)):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{line_number}: broken link "
+                    f"-> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    checked = 0
+    for path in doc_files():
+        if not path.exists():
+            problems.append(f"expected documentation file missing: {path}")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    print(f"checked {checked} markdown files: all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
