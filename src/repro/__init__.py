@@ -30,6 +30,10 @@ Engine:
     :class:`~repro.engine.engine.AnalysisEngine`,
     :class:`~repro.engine.cache.ArtifactCache`
     (batched structural simulation + content-addressed artifact cache)
+Telemetry:
+    :class:`~repro.telemetry.Telemetry`,
+    :func:`~repro.telemetry.enable_console_logging`
+    (spans, metrics, Chrome-trace export — see ``docs/observability.md``)
 Reference simulation:
     :class:`~repro.spice.transient.TransientSimulator`
 
@@ -100,6 +104,15 @@ from repro.tech import (
     ParameterAssignment,
     TechnologyTables,
 )
+from repro.telemetry import Telemetry, enable_console_logging
+
+# Library logging etiquette: the "repro" logger gets a NullHandler so
+# importing the package never configures (or complains about) logging;
+# enable_console_logging() attaches a real handler on request.
+import logging as _logging
+
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+del _logging
 
 __version__ = "1.0.0"
 
@@ -144,5 +157,7 @@ __all__ = [
     "ScenarioResult",
     "environment",
     "summarize",
+    "Telemetry",
+    "enable_console_logging",
     "__version__",
 ]

@@ -92,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="worker processes (default: CPU count)",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome/Perfetto trace of the run (spans from "
+        "every worker process merged onto one timeline); open it at "
+        "https://ui.perfetto.dev or chrome://tracing",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry report (span totals + metric "
+        "counters) after the summary tables",
+    )
     return parser
 
 
@@ -113,6 +124,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             extra["share_epsilon"] = args.share_epsilon
         if args.structural_engine is not None:
             extra["structural_engine"] = args.structural_engine
+        telemetry = None
+        if args.trace_out or args.metrics:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
         spec = CampaignSpec(
             circuits=tuple(args.circuits),
             charges_fc=tuple(args.charges),
@@ -122,6 +138,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             sample_width_counts=tuple(args.sample_widths),
             cache_dir=args.cache_dir,
+            telemetry=telemetry,
             **extra,
         )
         store = ResultStore(args.store) if args.store else ResultStore()
@@ -136,6 +153,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_runtime_accounting(outcome))
         if store.path is not None:
             print(f"store: {store.path} ({len(store)} results)")
+        if telemetry is not None and args.metrics:
+            from repro.telemetry import format_report
+
+            print()
+            print(format_report(telemetry))
+        if telemetry is not None and args.trace_out:
+            from repro.telemetry import write_chrome_trace
+
+            path = write_chrome_trace(
+                args.trace_out,
+                telemetry.tracer.spans(),
+                metadata={"mode": outcome.mode, "workers": outcome.workers},
+            )
+            print(f"trace: {path} ({len(telemetry.tracer)} spans)")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@ than failing the campaign.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import time
@@ -41,6 +42,9 @@ from repro.engine.engine import (
 )
 from repro.errors import CampaignError
 from repro.tech.library import ParameterAssignment
+from repro.telemetry import Telemetry, resolve
+
+_LOG = logging.getLogger(__name__)
 
 #: One unit of dispatched work: the key plus the (picklable) objects the
 #: worker needs to evaluate it.
@@ -134,6 +138,8 @@ def _evaluate_batch(
     config: AsertaConfig,
     items: Sequence[WorkItem],
     cache_dir: str | None = None,
+    telemetry=None,
+    ship_telemetry: bool = False,
 ) -> tuple[list[ScenarioResult], dict]:
     """Evaluate one batch of scenarios sharing a structural group.
 
@@ -145,42 +151,104 @@ def _evaluate_batch(
     and runs).
 
     Alongside the results, returns a per-batch stats record — the
-    worker pid plus the process-cumulative analyzer build/reuse
-    counters — so callers can assert structural-pass reuse directly
-    instead of inferring it from wall-clock.
+    worker pid, the process-cumulative analyzer build/reuse counters,
+    and the batch's phase timings (``analyzer_build_s``/``analyze_s``
+    against ``wall_s``, plus raw ``perf_counter_ns`` endpoints so the
+    runner can place the batch on the merged campaign timeline) — so
+    callers can assert structural-pass reuse and phase accounting
+    directly instead of inferring them from wall-clock.
+
+    ``telemetry`` (serial path) records spans and metrics into the
+    caller's live handle; ``ship_telemetry=True`` (worker processes —
+    a :class:`~repro.telemetry.Telemetry` does not cross the pickle
+    boundary) records into a fresh local handle and returns its
+    picklable payload under ``stats["telemetry"]`` for the runner to
+    merge.  Engine cache work done by the batch is recorded as
+    ``campaign.engine.*`` counter deltas of ``engine.stats()``, so
+    shared (possibly pre-warmed) engines are never mutated.
     """
-    analyzer = analyzer_for(group, config, cache_dir)
+    tel = Telemetry() if ship_telemetry else resolve(telemetry)
+    batch_started_ns = time.perf_counter_ns()
+    engine_before: dict = {}
+    if tel.enabled:
+        # Snapshot before the analyzer build: the structural fault
+        # simulation (the expensive engine work) runs inside
+        # AsertaAnalyzer.__init__, so a post-build snapshot would miss it.
+        engine_before = _engine_for(cache_dir).stats()
+    build_started = time.perf_counter()
+    with tel.span("campaign.analyzer_build", circuit=group[0]):
+        analyzer = analyzer_for(group, config, cache_dir)
+    build_s = time.perf_counter() - build_started
+    previous_tel = None
+    if tel.enabled:
+        # Cached analyzers (including ones inherited by a forked
+        # worker) keep their warmed state but record into this batch's
+        # telemetry; restored afterwards so untraced callers of the
+        # process-wide cache see no change.
+        previous_tel = analyzer.telemetry
+        analyzer.telemetry = tel
     analysis_cache: dict[tuple, tuple[float, float]] = {}
     results: list[ScenarioResult] = []
-    for key, assignment, env in items:
-        cache_key = _analysis_unit(key)
-        cached = analysis_cache.get(cache_key)
-        if cached is None:
-            report = analyzer.analyze(
-                assignment,
-                charge_fc=key.charge_fc,
-                n_sample_widths=key.n_sample_widths,
-            )
-            total, runtime = report.total, report.runtime_s
-            analysis_cache[cache_key] = (total, 0.0)
-        else:
-            total, runtime = cached
-        rates = env.rates(total)
-        results.append(
-            ScenarioResult(
-                key=key,
-                unreliability_total=total,
-                fit=rates.fit,
-                mission_upset_probability=rates.mission_upset_probability,
-                analyze_runtime_s=runtime,
-            )
-        )
+    analyze_s = 0.0
+    fresh = 0
+    try:
+        with tel.span(
+            "campaign.batch", circuit=group[0], items=len(items)
+        ):
+            for key, assignment, env in items:
+                cache_key = _analysis_unit(key)
+                cached = analysis_cache.get(cache_key)
+                if cached is None:
+                    analyze_started = time.perf_counter()
+                    report = analyzer.analyze(
+                        assignment,
+                        charge_fc=key.charge_fc,
+                        n_sample_widths=key.n_sample_widths,
+                    )
+                    analyze_s += time.perf_counter() - analyze_started
+                    fresh += 1
+                    total, runtime = report.total, report.runtime_s
+                    analysis_cache[cache_key] = (total, 0.0)
+                else:
+                    total, runtime = cached
+                rates = env.rates(total)
+                results.append(
+                    ScenarioResult(
+                        key=key,
+                        unreliability_total=total,
+                        fit=rates.fit,
+                        mission_upset_probability=rates.mission_upset_probability,
+                        analyze_runtime_s=runtime,
+                    )
+                )
+    finally:
+        if previous_tel is not None:
+            analyzer.telemetry = previous_tel
+    if tel.enabled:
+        for name, value in analyzer.engine.stats().items():
+            if not isinstance(value, (int, float)):
+                continue  # nested breakdowns (e.g. "by_kind") are not counters
+            delta = value - engine_before.get(name, 0)
+            if delta:
+                tel.metrics.add(f"campaign.engine.{name}", delta)
+        tel.metrics.add("campaign.batches")
+        tel.metrics.add("campaign.scenarios.computed", len(results))
+        tel.metrics.add("campaign.analyses.run", fresh)
+        tel.metrics.add("campaign.analyses.shared", len(items) - fresh)
+    batch_ended_ns = time.perf_counter_ns()
     stats = {
         "pid": os.getpid(),
         "group": group,
         "analyzer_builds": _WORKER_STATS["analyzer_builds"],
         "analyzer_reuses": _WORKER_STATS["analyzer_reuses"],
+        "wall_s": (batch_ended_ns - batch_started_ns) / 1e9,
+        "analyzer_build_s": build_s,
+        "analyze_s": analyze_s,
+        "started_at_ns": batch_started_ns,
+        "ended_at_ns": batch_ended_ns,
     }
+    if ship_telemetry:
+        stats["telemetry"] = tel.ship()
     return results, stats
 
 
@@ -203,11 +271,23 @@ class CampaignOutcome:
     mode: str
     #: Worker processes used (1 for serial).
     workers: int
-    #: Per-batch worker stats (pid + cumulative analyzer build/reuse
-    #: counters at batch completion), in dispatch order.  Empty when the
-    #: run had no work.  This is the observable the parallel-reuse
-    #: tests assert on.
+    #: Per-batch worker stats (pid, cumulative analyzer build/reuse
+    #: counters at batch completion, and the batch's phase timings —
+    #: ``wall_s``/``analyzer_build_s``/``analyze_s`` plus raw
+    #: ``started_at_ns``/``ended_at_ns`` timeline endpoints), in
+    #: dispatch order.  Empty when the run had no work.  This is the
+    #: observable the parallel-reuse and phase-accounting tests assert
+    #: on.
     batch_stats: tuple[dict, ...] = ()
+    #: Parallel mode only: seconds between dispatching the batches and
+    #: the first worker *starting* to compute — the pool's process
+    #: spin-up (interpreter + NumPy import), the fixed cost that makes
+    #: small grids slower parallel than serial.  0.0 under serial.
+    pool_spinup_s: float = 0.0
+    #: Parallel mode only: seconds between the last worker *finishing*
+    #: its batch and the runner holding every deserialized result —
+    #: the result-shipping tail.  0.0 under serial.
+    result_recv_s: float = 0.0
 
     @property
     def scenarios_per_second(self) -> float:
@@ -326,50 +406,90 @@ class CampaignRunner:
         path wins (the regression the campaign benchmark showed).
         ``parallel=True`` forces dispatch regardless of grid size and
         falls back to serial execution if a process pool cannot be used.
+
+        With ``spec.telemetry`` set, the run records a ``campaign.run``
+        span tree (plan / execute / finalize, plus retrospective pool
+        spin-up and result-shipping spans under parallel execution) and
+        merges every worker's shipped span buffer and metric snapshot
+        into the one handle — the cross-process campaign timeline.
         """
         started = time.perf_counter()
-        keys = self.spec.scenarios()
-        pending = [key for key in keys if key.digest() not in self.store]
-        skipped = len(keys) - len(pending)
+        tel = resolve(self.spec.telemetry)
+        ship = tel.enabled
+        with tel.span("campaign.run", scenarios=self.spec.size()):
+            with tel.span("campaign.plan"):
+                keys = self.spec.scenarios()
+                pending = [
+                    key for key in keys if key.digest() not in self.store
+                ]
+                skipped = len(keys) - len(pending)
 
-        cpus = os.cpu_count() or 1
-        workers = self.max_workers if self.max_workers is not None else cpus
-        batches = self._batches(pending, workers)
-        workers = max(1, min(workers, len(batches)))
-        if parallel is None:
-            parallel = (
-                workers > 1
-                and cpus > 1
-                and self._pending_units(pending) >= self.parallel_min_units
-            )
+                cpus = os.cpu_count() or 1
+                workers = (
+                    self.max_workers if self.max_workers is not None else cpus
+                )
+                batches = self._batches(pending, workers)
+                workers = max(1, min(workers, len(batches)))
+                if parallel is None:
+                    parallel = (
+                        workers > 1
+                        and cpus > 1
+                        and self._pending_units(pending)
+                        >= self.parallel_min_units
+                    )
 
-        mode = "serial"
-        computed: list[ScenarioResult] = []
-        batch_stats: list[dict] = []
-        if parallel and workers > 1 and _dispatchable(batches):
-            dispatched = self._run_parallel(batches, workers)
-            if dispatched is not None:
-                computed, batch_stats = dispatched
-                mode = "parallel"
-        if mode == "serial":
-            workers = 1
-            for group, config, items, cache_dir in batches:
-                results, stats = _evaluate_batch(group, config, items, cache_dir)
-                computed.extend(results)
-                batch_stats.append(stats)
+            mode = "serial"
+            computed: list[ScenarioResult] = []
+            batch_stats: list[dict] = []
+            pool_spinup_s = 0.0
+            result_recv_s = 0.0
+            with tel.span("campaign.execute", batches=len(batches)):
+                if parallel and workers > 1 and _dispatchable(batches):
+                    dispatched = self._run_parallel(
+                        batches, workers, ship, tel
+                    )
+                    if dispatched is not None:
+                        computed, batch_stats, pool_spinup_s, result_recv_s = (
+                            dispatched
+                        )
+                        mode = "parallel"
+                if mode == "serial":
+                    workers = 1
+                    for group, config, items, cache_dir in batches:
+                        results, stats = _evaluate_batch(
+                            group, config, items, cache_dir,
+                            telemetry=self.spec.telemetry,
+                        )
+                        computed.extend(results)
+                        batch_stats.append(stats)
 
-        for result in computed:
-            self.store.add(result)
+            # Workers record into fresh local handles (a Telemetry does
+            # not pickle); their shipped payloads merge here, after which
+            # the stats records carried home are payload-free.
+            for stats in batch_stats:
+                payload = stats.pop("telemetry", None)
+                if payload is not None:
+                    tel.merge(payload)
 
-        ordered: list[ScenarioResult] = []
-        for key in keys:
-            digest = key.digest()
-            result = self.store.get(digest)
-            if result is None:  # pragma: no cover - defensive
-                raise CampaignError(f"scenario {digest} was never evaluated")
-            ordered.append(result)
+            with tel.span("campaign.finalize"):
+                for result in computed:
+                    self.store.add(result)
+
+                ordered: list[ScenarioResult] = []
+                for key in keys:
+                    digest = key.digest()
+                    result = self.store.get(digest)
+                    if result is None:  # pragma: no cover - defensive
+                        raise CampaignError(
+                            f"scenario {digest} was never evaluated"
+                        )
+                    ordered.append(result)
 
         wall = time.perf_counter() - started
+        if ship:
+            tel.metrics.add("campaign.runs")
+            tel.metrics.add("campaign.scenarios.total", len(keys))
+            tel.metrics.add("campaign.scenarios.skipped", skipped)
         return CampaignOutcome(
             results=tuple(ordered),
             computed=len(computed),
@@ -379,13 +499,17 @@ class CampaignRunner:
             mode=mode,
             workers=workers,
             batch_stats=tuple(batch_stats),
+            pool_spinup_s=pool_spinup_s,
+            result_recv_s=result_recv_s,
         )
 
     @staticmethod
     def _run_parallel(
         batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem], str | None]],
         workers: int,
-    ) -> tuple[list[ScenarioResult], list[dict]] | None:
+        ship: bool = False,
+        tel=None,
+    ) -> tuple[list[ScenarioResult], list[dict], float, float] | None:
         """Dispatch the batches to a process pool.
 
         Returns ``None`` when the pool itself is unusable — construction
@@ -393,20 +517,33 @@ class CampaignRunner:
         that denies fork/spawn; processes are spawned lazily by
         ``submit``, not construction), or the pool broke mid-flight
         (:class:`BrokenExecutor`) — so the caller falls back to the
-        serial path.  Exceptions raised by the analysis code inside a
-        worker never surface through ``submit``; they are re-raised by
+        serial path (each fallback site logs a WARNING naming its
+        cause).  Exceptions raised by the analysis code inside a worker
+        never surface through ``submit``; they are re-raised by
         ``future.result()`` as themselves (including worker-side
         ``OSError``) and propagate, exactly as they would on the serial
         path.
+
+        On success also returns the pool spin-up and result-shipping
+        seconds, reconstructed from the workers' monotonic batch
+        endpoints (``perf_counter_ns`` is machine-wide comparable); with
+        ``ship=True`` the same two intervals are recorded as
+        retrospective spans into ``tel``.
         """
         from concurrent.futures import BrokenExecutor
 
+        tel = resolve(tel)
         try:
             from concurrent.futures import ProcessPoolExecutor
 
             pool = ProcessPoolExecutor(max_workers=workers)
-        except (ImportError, NotImplementedError, OSError):
+        except (ImportError, NotImplementedError, OSError) as exc:
+            _LOG.warning(
+                "process pool unavailable (%s); falling back to serial "
+                "execution", exc,
+            )
             return None
+        dispatch_ns = time.perf_counter_ns()
         results: list[ScenarioResult] = []
         batch_stats: list[dict] = []
         try:
@@ -414,19 +551,51 @@ class CampaignRunner:
                 try:
                     futures = [
                         pool.submit(
-                            _evaluate_batch, group, config, items, cache_dir
+                            _evaluate_batch, group, config, items, cache_dir,
+                            None, ship,
                         )
                         for group, config, items, cache_dir in batches
                     ]
-                except OSError:
+                except OSError as exc:
+                    _LOG.warning(
+                        "process pool could not spawn workers (%s); "
+                        "falling back to serial execution", exc,
+                    )
                     return None
                 for future in futures:
                     batch_results, stats = future.result()
                     results.extend(batch_results)
                     batch_stats.append(stats)
-        except BrokenExecutor:
+        except BrokenExecutor as exc:
+            _LOG.warning(
+                "process pool broke mid-flight (%s); falling back to "
+                "serial execution", exc,
+            )
             return None
-        return results, batch_stats
+        end_ns = time.perf_counter_ns()
+        first_start_ns = min(
+            (stats["started_at_ns"] for stats in batch_stats),
+            default=dispatch_ns,
+        )
+        last_end_ns = max(
+            (stats["ended_at_ns"] for stats in batch_stats), default=end_ns
+        )
+        spinup_s = max(0.0, (first_start_ns - dispatch_ns) / 1e9)
+        recv_s = max(0.0, (end_ns - last_end_ns) / 1e9)
+        if ship and batch_stats:
+            tel.tracer.record(
+                "campaign.pool_spinup",
+                dispatch_ns,
+                max(dispatch_ns, first_start_ns),
+                workers=workers,
+            )
+            tel.tracer.record(
+                "campaign.result_recv",
+                min(end_ns, last_end_ns),
+                end_ns,
+                batches=len(batch_stats),
+            )
+        return results, batch_stats, spinup_s, recv_s
 
 
 def _dispatchable(batches: Sequence[tuple]) -> bool:

@@ -196,6 +196,13 @@ class CampaignSpec:
     #: at a cache directory cannot invalidate (or be confused with) its
     #: result store.
     cache_dir: str | None = None
+    #: Optional :class:`repro.telemetry.Telemetry` handle the runner
+    #: records campaign spans and metrics into (workers ship their span
+    #: buffers back for cross-process aggregation).  Execution
+    #: configuration only, exactly like ``cache_dir``: it never enters
+    #: scenario digests, so tracing a campaign cannot invalidate (or be
+    #: confused with) its result store.
+    telemetry: Any = None
 
     def __post_init__(self) -> None:
         if self.cache_dir is not None:

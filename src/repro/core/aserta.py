@@ -50,6 +50,7 @@ from repro.logicsim.probability import static_probabilities
 from repro.power.energy import activity_row, circuit_energy_batch
 from repro.sta.timing import analyze_timing_batch
 from repro.tech import constants as k
+from repro.telemetry import resolve
 from repro.tech.electrical_view import (
     CircuitElectrical,
     batched_electrical_arrays,
@@ -184,6 +185,11 @@ class AsertaAnalyzer:
 
     ``share_epsilon`` overrides ``config.share_epsilon`` (the Equation-2
     deep-chain route-dropping cutoff) without rebuilding a config.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) records
+    per-phase spans (``aserta.init.*``, ``aserta.electrical``,
+    ``aserta.masking_sweep``, ``aserta.reduce``) and counters; ``None``
+    (the default) makes every instrumentation point a no-op.
     """
 
     def __init__(
@@ -193,12 +199,14 @@ class AsertaAnalyzer:
         tables: TechnologyTables | None = None,
         engine: AnalysisEngine | None = None,
         share_epsilon: float | None = None,
+        telemetry=None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
         self.config = config if config is not None else AsertaConfig()
         self.tables = tables if tables is not None else default_tables()
         self.engine = engine if engine is not None else get_default_engine()
+        self.telemetry = resolve(telemetry)
         if share_epsilon is None:
             self.share_epsilon = self.config.share_epsilon
         else:
@@ -214,28 +222,37 @@ class AsertaAnalyzer:
         #: Dense integer view shared by every array pass.
         self.indexed = circuit.indexed()
         if self.config.use_tables:
-            self.engine.warm_stacked_tables(
-                self.tables, self.indexed.group_pairs
-            )
+            with self.telemetry.span("aserta.init.warm_tables"):
+                self.engine.warm_stacked_tables(
+                    self.tables, self.indexed.group_pairs
+                )
         #: Dense ``(V, O)`` sensitized-path probabilities — simulated by
         #: the configured structural engine or served from the artifact
         #: cache (bit-identical either way).
-        self.p_matrix = self.engine.p_matrix(
-            circuit,
-            self.config.n_vectors,
-            self.config.seed,
-            structural=self.config.structural_engine,
-            simulator=self.simulator,
-        )
+        with self.telemetry.span(
+            "aserta.init.structural",
+            circuit=circuit.name,
+            n_vectors=self.config.n_vectors,
+        ):
+            self.p_matrix = self.engine.p_matrix(
+                circuit,
+                self.config.n_vectors,
+                self.config.seed,
+                structural=self.config.structural_engine,
+                simulator=self.simulator,
+            )
         #: Assignment-independent Equation-2 structure (dense shares),
         #: resolved once and reused by every :meth:`analyze` call.
-        self.structure = self.engine.masking_structure(
-            circuit,
-            self.probabilities,
-            self.config.n_vectors,
-            self.config.seed,
-            epsilon=self.share_epsilon,
-        )
+        with self.telemetry.span(
+            "aserta.init.masking_structure", circuit=circuit.name
+        ):
+            self.structure = self.engine.masking_structure(
+                circuit,
+                self.probabilities,
+                self.config.n_vectors,
+                self.config.seed,
+                epsilon=self.share_epsilon,
+            )
         self._sensitized_paths: dict[str, dict[str, float]] | None = None
         self._activity_row: np.ndarray | None = None
 
@@ -306,56 +323,66 @@ class AsertaAnalyzer:
                 f"engine must be 'array' or 'reference', got {engine!r}"
             )
         started = time.perf_counter()
+        telemetry = self.telemetry
+        telemetry.metrics.add("aserta.analyze.calls")
         assignment = assignment if assignment is not None else ParameterAssignment()
-        elec = self.electrical_view(
-            assignment,
-            charge_fc=charge_fc,
-            vectorized=engine == "array",
-        )
-        if sample_widths is None:
-            sample_widths = default_sample_widths(
-                elec,
-                self.config.n_sample_widths
-                if n_sample_widths is None
-                else n_sample_widths,
-            )
-        if engine == "array":
-            masking = electrical_masking(
-                self.circuit,
-                elec,
-                sample_widths=sample_widths,
-                structure=self.structure,
-            )
-            assert masking.arrays is not None
-            arrays = elec.arrays()
-            sizes = arrays.get("size")
-            if sizes is None:  # view built by the scalar fallback path
-                sizes = self._sizes_array(assignment)
-            report = build_report_from_arrays(
-                self.circuit.name,
-                masking.arrays,
-                generated=arrays["generated_width_ps"],
-                sizes=sizes,
-            )
-        else:
-            masking = electrical_masking_reference(
-                self.circuit,
-                elec,
-                self.probabilities,
-                self.sensitized_paths,
-                sample_widths,
-                epsilon=self.share_epsilon,
-            )
-            sizes = {
-                gate.name: assignment[gate.name].size
-                for gate in self.circuit.gates()
-            }
-            report = build_report(
-                self.circuit.name,
-                generated_widths=elec.generated_width_ps,
-                sizes=sizes,
-                expected=masking.expected,
-            )
+        with telemetry.span(
+            "aserta.analyze", circuit=self.circuit.name, engine=engine
+        ):
+            with telemetry.span("aserta.electrical"):
+                elec = self.electrical_view(
+                    assignment,
+                    charge_fc=charge_fc,
+                    vectorized=engine == "array",
+                )
+                if sample_widths is None:
+                    sample_widths = default_sample_widths(
+                        elec,
+                        self.config.n_sample_widths
+                        if n_sample_widths is None
+                        else n_sample_widths,
+                    )
+            if engine == "array":
+                with telemetry.span("aserta.masking_sweep"):
+                    masking = electrical_masking(
+                        self.circuit,
+                        elec,
+                        sample_widths=sample_widths,
+                        structure=self.structure,
+                    )
+                with telemetry.span("aserta.reduce"):
+                    assert masking.arrays is not None
+                    arrays = elec.arrays()
+                    sizes = arrays.get("size")
+                    if sizes is None:  # view built by the scalar fallback path
+                        sizes = self._sizes_array(assignment)
+                    report = build_report_from_arrays(
+                        self.circuit.name,
+                        masking.arrays,
+                        generated=arrays["generated_width_ps"],
+                        sizes=sizes,
+                    )
+            else:
+                with telemetry.span("aserta.masking_sweep"):
+                    masking = electrical_masking_reference(
+                        self.circuit,
+                        elec,
+                        self.probabilities,
+                        self.sensitized_paths,
+                        sample_widths,
+                        epsilon=self.share_epsilon,
+                    )
+                with telemetry.span("aserta.reduce"):
+                    sizes = {
+                        gate.name: assignment[gate.name].size
+                        for gate in self.circuit.gates()
+                    }
+                    report = build_report(
+                        self.circuit.name,
+                        generated_widths=elec.generated_width_ps,
+                        sizes=sizes,
+                        expected=masking.expected,
+                    )
         runtime = time.perf_counter() - started
         return AsertaReport(
             unreliability=report,
@@ -461,44 +488,60 @@ class AsertaAnalyzer:
         per_lane = idx.n_signals * idx.n_outputs * (n_k + 1) * 8
         chunk = int(max(1, min(n_lanes, max_batch_bytes // max(1, per_lane))))
 
+        telemetry = self.telemetry
+        telemetry.metrics.add("aserta.analyze_many.calls")
+        telemetry.metrics.add("aserta.analyze_many.lanes", n_lanes)
         totals = np.empty(n_lanes)
         delay = np.empty(n_lanes)
         energy = np.empty(n_lanes)
         area = np.empty(n_lanes)
-        for start in range(0, n_lanes, chunk):
-            stop = min(start + chunk, n_lanes)
-            part = {
-                field: np.ascontiguousarray(values[start:stop])
-                for field, values in params.items()
-            }
-            arrays = batched_electrical_arrays(
-                self.circuit, self.tables, part, charge_fc=charge
-            )
-            samples = default_sample_widths_batch(
-                idx, arrays["delay_ps"], arrays["generated_width_ps"], n_k
-            )
-            expected = electrical_masking_many(
-                self.structure,
-                arrays["delay_ps"],
-                arrays["generated_width_ps"],
-                samples,
-            )
-            # Equations 3-4 lane by lane over contiguous slices: the
-            # exact reductions of the single-candidate path, so totals
-            # stay bit-consistent with analyze().
-            for lane in range(stop - start):
-                totals[start + lane] = total_unreliability(
-                    gate_contributions(part["size"][lane], expected[lane])
-                )
-            delay[start:stop] = analyze_timing_batch(
-                idx, arrays["delay_ps"]
-            ).delay_ps
-            energy[start:stop] = circuit_energy_batch(
-                idx, arrays, self.activities
-            )
-            area[start:stop] = arrays["area_units"][:, idx.gate_rows].sum(
-                axis=1
-            )
+        with telemetry.span(
+            "aserta.analyze_many", circuit=self.circuit.name, lanes=n_lanes
+        ):
+            for start in range(0, n_lanes, chunk):
+                stop = min(start + chunk, n_lanes)
+                part = {
+                    field: np.ascontiguousarray(values[start:stop])
+                    for field, values in params.items()
+                }
+                with telemetry.span("aserta.electrical", lanes=stop - start):
+                    arrays = batched_electrical_arrays(
+                        self.circuit, self.tables, part, charge_fc=charge
+                    )
+                    samples = default_sample_widths_batch(
+                        idx,
+                        arrays["delay_ps"],
+                        arrays["generated_width_ps"],
+                        n_k,
+                    )
+                with telemetry.span(
+                    "aserta.masking_sweep", lanes=stop - start
+                ):
+                    expected = electrical_masking_many(
+                        self.structure,
+                        arrays["delay_ps"],
+                        arrays["generated_width_ps"],
+                        samples,
+                    )
+                # Equations 3-4 lane by lane over contiguous slices: the
+                # exact reductions of the single-candidate path, so totals
+                # stay bit-consistent with analyze().
+                with telemetry.span("aserta.reduce", lanes=stop - start):
+                    for lane in range(stop - start):
+                        totals[start + lane] = total_unreliability(
+                            gate_contributions(
+                                part["size"][lane], expected[lane]
+                            )
+                        )
+                    delay[start:stop] = analyze_timing_batch(
+                        idx, arrays["delay_ps"]
+                    ).delay_ps
+                    energy[start:stop] = circuit_energy_batch(
+                        idx, arrays, self.activities
+                    )
+                    area[start:stop] = arrays["area_units"][
+                        :, idx.gate_rows
+                    ].sum(axis=1)
         return AsertaBatch(
             totals=totals, delay_ps=delay, energy_fj=energy, area=area
         )

@@ -41,6 +41,7 @@ from repro.tech.library import (
     NOMINAL_CELL,
     ParameterAssignment,
 )
+from repro.telemetry import resolve
 from repro.units import PS_PER_FF_V_PER_UA
 
 
@@ -269,7 +270,10 @@ class MatchingEngine:
     default scores one ``(lanes, gates, cells)`` block per reverse
     logic level; ``False`` keeps the original per-gate walk.  Both pick
     bitwise-identical cells — the flag exists for differential testing
-    and benchmarking.
+    and benchmarking.  ``telemetry`` records ``matcher.match_batch``
+    spans and the dirty-wave counters (``matcher.pairs.rescored`` /
+    ``matcher.pairs.total``) quantifying how much scoring work the
+    delta fast path avoids.
     """
 
     def __init__(
@@ -277,10 +281,12 @@ class MatchingEngine:
         circuit: Circuit,
         library: CellLibrary,
         level_batched: bool = True,
+        telemetry=None,
     ) -> None:
         self.circuit = circuit
         self.library = library
         self.level_batched = bool(level_batched)
+        self.telemetry = resolve(telemetry)
         self._arrays: dict[tuple[GateType, int], _CellArrays] = {}
         self._reverse_order = tuple(
             name for name in circuit.reverse_topological_order()
@@ -503,15 +509,25 @@ class MatchingEngine:
         frug_key = (
             energy_weight_ps_per_fj, area_weight_ps, leakage_weight_ps_per_uw
         )
-        if self.level_batched:
-            return self._match_batch_levelwise(
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.add("matcher.match_batch.calls")
+            tel.metrics.add("matcher.lanes", targets.shape[0])
+        with tel.span(
+            "matcher.match_batch",
+            lanes=targets.shape[0],
+            mode="level" if self.level_batched else "gate",
+            delta=reference is not None,
+        ):
+            if self.level_batched:
+                return self._match_batch_levelwise(
+                    targets, ramp_row, anchor_row, reference, changed,
+                    frug_key, anchor_bonus_ps,
+                )
+            return self._match_batch_gatewise(
                 targets, ramp_row, anchor_row, reference, changed,
                 frug_key, anchor_bonus_ps,
             )
-        return self._match_batch_gatewise(
-            targets, ramp_row, anchor_row, reference, changed,
-            frug_key, anchor_bonus_ps,
-        )
 
     def _match_batch_gatewise(
         self,
@@ -819,6 +835,10 @@ class MatchingEngine:
                 cell_idx[:, rows] = best
                 state[:, :, rows] = chosen
 
+            if self.telemetry.enabled:
+                pairs = n_lanes * rows_all.size
+                self.telemetry.metrics.add("matcher.pairs.rescored", pairs)
+                self.telemetry.metrics.add("matcher.pairs.total", pairs)
             return BatchMatchState(
                 cells=cells, cell_idx=cell_idx, input_cap=input_cap, vdd=vdd
             )
@@ -832,6 +852,8 @@ class MatchingEngine:
         input_cap, vdd = state[0], state[1]
         dirty = np.zeros(shape, dtype=bool)
         mask_all = changed[:, rows_all]
+        track = self.telemetry.enabled
+        rescored = 0
 
         for blk in plan:
             rows = blk.rows
@@ -906,7 +928,14 @@ class MatchingEngine:
                 sub_mask[np.newaxis], chosen, state[:, :, rows_g]
             )
             dirty[:, rows_g] = sub_mask & (new_cells != previous)
+            if track:
+                rescored += int(sub_mask.sum())
 
+        if track:
+            self.telemetry.metrics.add("matcher.pairs.rescored", rescored)
+            self.telemetry.metrics.add(
+                "matcher.pairs.total", n_lanes * rows_all.size
+            )
         return BatchMatchState(
             cells=cells, cell_idx=cell_idx, input_cap=input_cap, vdd=vdd
         )
@@ -958,6 +987,8 @@ class MatchingEngine:
             lanes = np.flatnonzero(active)
             if lanes.size == 0:
                 break
+            if self.telemetry.enabled:
+                self.telemetry.metrics.add("matcher.repair_rounds")
             realized = continuous_delay_arrays(
                 self.circuit, state.param_arrays(lanes)
             )["delay_ps"]

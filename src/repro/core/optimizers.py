@@ -21,6 +21,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.errors import OptimizationError
+from repro.telemetry import resolve
 
 Objective = Callable[[np.ndarray], float]
 
@@ -274,6 +275,7 @@ def minimize_coordinate(
     step_schedule: Sequence[float] = (0.5, 0.25, 0.1),
     objective_batch: BatchObjective | None = None,
     batch_chunk: int = 8,
+    telemetry=None,
 ) -> OptimizeResult:
     """Stochastic coordinate descent: probe +-step along one coordinate
     at a time, keeping improvements; steps shrink per sweep schedule.
@@ -299,6 +301,7 @@ def minimize_coordinate(
             seed,
             step_schedule,
             batch_chunk,
+            telemetry=telemetry,
         )
     counter = _CountingObjective(objective, max_evaluations)
     rng = random.Random(seed)
@@ -343,10 +346,13 @@ def _minimize_coordinate_batched(
     seed: int,
     step_schedule: Sequence[float],
     batch_chunk: int,
+    telemetry=None,
 ) -> OptimizeResult:
     """The population-evaluated twin of the scalar coordinate loop."""
     if batch_chunk < 1:
         raise OptimizationError(f"batch_chunk must be >= 1, got {batch_chunk}")
+    tel = resolve(telemetry)
+    speculated = 0
     counter = _CountingObjective(objective, max_evaluations)
     rng = random.Random(seed)
     current_x = x0.copy()
@@ -375,6 +381,7 @@ def _minimize_coordinate_batched(
                     )
                     probes.append(probe)
             values = objective_batch(np.stack(probes), base=current_x)
+            speculated += len(probes)
             accepted = False
             for j in range(len(chunk_dims)):
                 if counter.evaluations >= max_evaluations:
@@ -400,6 +407,14 @@ def _minimize_coordinate_batched(
                     break
             else:
                 position += len(chunk_dims)
+    if tel.enabled:
+        # "- 1": the initial record of the entry point is not a probe.
+        replayed = max(0, counter.evaluations - 1)
+        tel.metrics.add("optimizer.probes.speculated", speculated)
+        tel.metrics.add("optimizer.probes.replayed", replayed)
+        tel.metrics.add(
+            "optimizer.probes.discarded", max(0, speculated - replayed)
+        )
     assert counter.best_x is not None
     return OptimizeResult(
         x=counter.best_x,
@@ -426,6 +441,7 @@ def run_optimizer(
     seed: int = 0,
     objective_batch: BatchObjective | None = None,
     probe_batch: int | None = None,
+    telemetry=None,
 ) -> OptimizeResult:
     """Dispatch to a registered optimizer by name.
 
@@ -441,6 +457,10 @@ def run_optimizer(
     driver's default.  The replay accounting makes the visited points
     independent of the value — only block width, and therefore
     wall-clock, changes.
+
+    ``telemetry`` records one ``optimizer.search`` span around the
+    driver plus the ``optimizer.evaluations`` counter (and, for the
+    coordinate driver, the speculative-probe budget accounting).
     """
     try:
         driver = OPTIMIZERS[method]
@@ -452,17 +472,32 @@ def run_optimizer(
         raise OptimizationError(
             f"probe_batch must be >= 1, got {probe_batch}"
         )
-    if method == "slsqp":
-        return driver(
-            objective, x0, bounds_halfwidth, max_evaluations,
-            objective_batch=objective_batch,
-        )
-    extra: dict[str, int] = {}
-    if probe_batch is not None:
-        extra["batch_chunk" if method == "coordinate" else "batch_size"] = (
-            probe_batch
-        )
-    return driver(
-        objective, x0, bounds_halfwidth, max_evaluations, seed=seed,
-        objective_batch=objective_batch, **extra,
-    )
+    tel = resolve(telemetry)
+    with tel.span(
+        "optimizer.search",
+        method=method,
+        dimensions=int(np.asarray(x0).size),
+        max_evaluations=max_evaluations,
+        batched=objective_batch is not None,
+    ):
+        if method == "slsqp":
+            result = driver(
+                objective, x0, bounds_halfwidth, max_evaluations,
+                objective_batch=objective_batch,
+            )
+        else:
+            extra: dict = {}
+            if probe_batch is not None:
+                extra[
+                    "batch_chunk" if method == "coordinate" else "batch_size"
+                ] = probe_batch
+            if method == "coordinate":
+                extra["telemetry"] = telemetry
+            result = driver(
+                objective, x0, bounds_halfwidth, max_evaluations, seed=seed,
+                objective_batch=objective_batch, **extra,
+            )
+    if tel.enabled:
+        tel.metrics.add("optimizer.runs")
+        tel.metrics.add("optimizer.evaluations", result.evaluations)
+    return result

@@ -37,6 +37,7 @@ from repro.sta.timing import analyze_timing
 from repro.tech.electrical_view import CircuitElectrical
 from repro.tech.library import CellLibrary, ParameterAssignment
 from repro.tech.table_builder import TechnologyTables
+from repro.telemetry import resolve
 
 
 @dataclass(frozen=True)
@@ -276,6 +277,12 @@ class Sertopt:
     then call :meth:`optimize`, which returns a :class:`SertoptResult`.
     One instance may optimize repeatedly — the analyzer, compiled
     matching plans and cached path sample are reused across calls.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) records the
+    ``sertopt.optimize`` span tree — setup, delay-space construction,
+    the optimizer search and the final match — and is threaded through
+    the analyzer, the matching engine and the optimizer driver so their
+    spans nest underneath.
     """
 
     def __init__(
@@ -286,10 +293,13 @@ class Sertopt:
         tables: TechnologyTables | None = None,
         analyzer: AsertaAnalyzer | None = None,
         engine: AnalysisEngine | None = None,
+        telemetry=None,
     ) -> None:
         self.circuit = circuit
         self.library = library if library is not None else CellLibrary.paper_library()
         self.config = config if config is not None else SertoptConfig()
+        self._telemetry = telemetry
+        self.telemetry = resolve(telemetry)
         # The engine is where the inner loop's structural reuse lives:
         # P_ij and the Equation-2 shares are sizing-invariant, so every
         # candidate assignment the optimizer scores shares the one
@@ -300,9 +310,13 @@ class Sertopt:
             if analyzer is not None
             else AsertaAnalyzer(
                 circuit, config=self.config.aserta, tables=tables,
-                engine=engine,
+                engine=engine, telemetry=telemetry,
             )
         )
+        if analyzer is not None and telemetry is not None:
+            # A pre-built (possibly cached) analyzer keeps its state but
+            # records into this run's telemetry.
+            self.analyzer.telemetry = self.telemetry
 
     def optimize(
         self, baseline: ParameterAssignment | None = None
@@ -310,36 +324,52 @@ class Sertopt:
         """Run the full SERTOPT flow; see the module docstring."""
         started = time.perf_counter()
         config = self.config
-        if baseline is None:
-            baseline = size_for_speed(self.circuit, self.library)
+        with self.telemetry.span(
+            "sertopt.optimize",
+            circuit=self.circuit.name,
+            optimizer=config.optimizer,
+        ):
+            return self._optimize(baseline, started)
 
-        evaluator = CostEvaluator(
-            self.analyzer, baseline, weights=config.weights
-        )
-        # Delay targets and ramps come from the same continuous model the
-        # matching engine evaluates (the paper's "SPICE library"), so the
-        # zero perturbation reproduces the baseline cells exactly; the
-        # cost's unreliability term still runs through ASERTA's tables.
-        target_elec = CircuitElectrical(
-            self.circuit, baseline, use_tables=False
-        )
-        space = DelaySpace(
-            self.circuit,
-            target_elec.delay_ps,
-            max_paths=config.max_paths,
-            seed=config.seed,
-            max_dimension=config.max_dimension,
-        )
-        engine = MatchingEngine(
-            self.circuit,
-            self.library,
-            level_batched=config.level_batched_matching,
-        )
-        ramps = dict(target_elec.input_ramp_ps)
-        baseline_delay = analyze_timing(
-            self.circuit, target_elec.delay_ps
-        ).delay_ps
-        repair_cap_ps = baseline_delay * config.weights.timing_cap
+    def _optimize(
+        self, baseline: ParameterAssignment | None, started: float
+    ) -> SertoptResult:
+        config = self.config
+        tel = self.telemetry
+        with tel.span("sertopt.setup"):
+            if baseline is None:
+                baseline = size_for_speed(self.circuit, self.library)
+
+            evaluator = CostEvaluator(
+                self.analyzer, baseline, weights=config.weights
+            )
+            # Delay targets and ramps come from the same continuous model
+            # the matching engine evaluates (the paper's "SPICE library"),
+            # so the zero perturbation reproduces the baseline cells
+            # exactly; the cost's unreliability term still runs through
+            # ASERTA's tables.
+            target_elec = CircuitElectrical(
+                self.circuit, baseline, use_tables=False
+            )
+            engine = MatchingEngine(
+                self.circuit,
+                self.library,
+                level_batched=config.level_batched_matching,
+                telemetry=self._telemetry,
+            )
+            ramps = dict(target_elec.input_ramp_ps)
+            baseline_delay = analyze_timing(
+                self.circuit, target_elec.delay_ps
+            ).delay_ps
+            repair_cap_ps = baseline_delay * config.weights.timing_cap
+        with tel.span("sertopt.delay_space"):
+            space = DelaySpace(
+                self.circuit,
+                target_elec.delay_ps,
+                max_paths=config.max_paths,
+                seed=config.seed,
+                max_dimension=config.max_dimension,
+            )
 
         if space.dimension == 0:
             # No timing-neutral direction exists (e.g. one path per gate):
@@ -411,16 +441,19 @@ class Sertopt:
             seed=config.seed,
             objective_batch=objective_batch,
             probe_batch=probe_batch,
+            telemetry=self._telemetry,
         )
 
-        best_assignment = engine.match_with_timing(
-            space.assigned_delays(search.x), ramps, repair_cap_ps, anchor=baseline
-        )
-        best_breakdown = evaluator.evaluate(best_assignment)
-        # Never return something worse than the untouched baseline.
-        if best_breakdown.total > evaluator.weights.total_weight:
-            best_assignment = baseline
-            best_breakdown = evaluator.evaluate(baseline)
+        with tel.span("sertopt.final_match"):
+            best_assignment = engine.match_with_timing(
+                space.assigned_delays(search.x), ramps, repair_cap_ps,
+                anchor=baseline,
+            )
+            best_breakdown = evaluator.evaluate(best_assignment)
+            # Never return something worse than the untouched baseline.
+            if best_breakdown.total > evaluator.weights.total_weight:
+                best_assignment = baseline
+                best_breakdown = evaluator.evaluate(baseline)
 
         return SertoptResult(
             circuit_name=self.circuit.name,

@@ -28,6 +28,7 @@ through them.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import zipfile
@@ -40,6 +41,9 @@ import numpy as np
 
 from repro.engine.artifacts import ARTIFACT_SCHEMA
 from repro.errors import ReproError
+from repro.telemetry import NULL_METRICS
+
+_LOG = logging.getLogger(__name__)
 
 
 class EngineError(ReproError):
@@ -125,6 +129,11 @@ class ArtifactCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_disk_bytes = max_disk_bytes
         self.stats = CacheStats()
+        #: Optional :class:`repro.telemetry.MetricsRegistry` mirror —
+        #: every counter bump also lands there under ``engine.cache.*``
+        #: (an :class:`~repro.engine.engine.AnalysisEngine` built with a
+        #: telemetry handle wires this up).
+        self.metrics = NULL_METRICS
         self._entries: OrderedDict[str, Any] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -138,9 +147,12 @@ class ArtifactCache:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             self.stats._bump(_kind_of(key), "hits")
+            self.metrics.add("engine.cache.hits")
             return entry
         self.stats.misses += 1
         self.stats._bump(_kind_of(key), "misses")
+        self.metrics.add("engine.cache.misses")
+        _LOG.debug("artifact cache miss: %s", key)
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -148,9 +160,11 @@ class ArtifactCache:
         self._entries[key] = value
         self._entries.move_to_end(key)
         self.stats.puts += 1
+        self.metrics.add("engine.cache.puts")
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self.metrics.add("engine.cache.evictions")
 
     def get_or_build(self, key: str, build: Callable[[], Any]) -> Any:
         """Serve ``key`` from memory or build-and-store it."""
@@ -190,6 +204,7 @@ class ArtifactCache:
         except (OSError, ValueError, zipfile.BadZipFile):
             # A truncated or foreign file is a miss, not a crash: the
             # artifact is simply rebuilt (and rewritten) from scratch.
+            _LOG.debug("ignoring unreadable on-disk artifact %s", path)
             return None
         meta = payload.pop("__meta__", None)
         if meta is None:
@@ -227,6 +242,7 @@ class ArtifactCache:
                 pass
             raise
         self.stats.disk_writes += 1
+        self.metrics.add("engine.cache.disk_writes")
         self._enforce_disk_budget(keep=path)
 
     def _enforce_disk_budget(self, keep: Path | None = None) -> None:
@@ -265,6 +281,8 @@ class ArtifactCache:
                 continue
             total -= size
             self.stats.disk_evictions += 1
+            self.metrics.add("engine.cache.disk_evictions")
+            _LOG.debug("disk budget eviction: %s (%d bytes)", path, size)
 
     def get_or_build_arrays(
         self, key: str, build: Callable[[], dict[str, np.ndarray]]
@@ -282,12 +300,16 @@ class ArtifactCache:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             self.stats._bump(_kind_of(key), "hits")
+            self.metrics.add("engine.cache.hits")
             return entry
         loaded = self.load_arrays(key)
         if loaded is not None:
             self.stats.disk_hits += 1
             self.stats.hits += 1
             self.stats._bump(_kind_of(key), "hits")
+            self.metrics.add("engine.cache.hits")
+            self.metrics.add("engine.cache.disk_hits")
+            _LOG.debug("disk tier hit: %s", key)
             if self.max_disk_bytes is not None:
                 path = self._path_for(key)
                 try:
@@ -299,6 +321,8 @@ class ArtifactCache:
             return loaded
         self.stats.misses += 1
         self.stats._bump(_kind_of(key), "misses")
+        self.metrics.add("engine.cache.misses")
+        _LOG.debug("artifact cache miss: building %s", key)
         built = build()
         _freeze(built)
         self.put(key, built)

@@ -23,6 +23,7 @@ service — perform zero fault-simulation work.
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import TYPE_CHECKING, Mapping
 
@@ -37,6 +38,9 @@ from repro.engine.structural import (
     structural_matrix_batched,
     structural_matrix_event,
 )
+from repro.telemetry import resolve
+
+_LOG = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.core.masking import MaskingStructure
@@ -62,6 +66,9 @@ class AnalysisEngine:
     ``max_disk_bytes`` to bound it with LRU-by-mtime eviction.
     Counters (:attr:`structural_sim_runs`, ``stats``) expose how much
     real simulation work the engine has done versus served from cache.
+    Pass ``telemetry`` (a :class:`repro.telemetry.Telemetry`) to record
+    build spans (``engine.*.build``) and mirror the cache counters into
+    its metrics registry under ``engine.cache.*``.
     """
 
     def __init__(
@@ -71,6 +78,7 @@ class AnalysisEngine:
         structural: str = "batched",
         max_entries: int = 128,
         max_disk_bytes: int | None = None,
+        telemetry=None,
     ) -> None:
         if structural not in STRUCTURAL_ENGINES:
             raise EngineError(
@@ -96,6 +104,11 @@ class AnalysisEngine:
         self.structural = structural
         #: Fault simulations actually executed (not served from cache).
         self.structural_sim_runs = 0
+        self.telemetry = resolve(telemetry)
+        if self.telemetry.enabled:
+            # Mirror cache counters into the registry as they happen —
+            # counters (not gauges), so cross-process merges are sums.
+            self.cache.metrics = self.telemetry.metrics
 
     # ------------------------------------------------------------------
     # Structural artifacts
@@ -110,7 +123,10 @@ class AnalysisEngine:
             # content is structurally valid, but rebinding row arrays
             # across objects buys nothing — compilation is cheap next to
             # simulation — so each live circuit object gets its own.
-            compiled = CompiledStructuralCircuit(circuit.indexed())
+            with self.telemetry.span(
+                "engine.compile_structural", circuit=circuit.name
+            ):
+                compiled = CompiledStructuralCircuit(circuit.indexed())
             self.cache.put(key, compiled)
         return compiled
 
@@ -138,18 +154,30 @@ class AnalysisEngine:
 
         def build() -> dict[str, np.ndarray]:
             self.structural_sim_runs += 1
-            if engine == "batched":
-                matrix = structural_matrix_batched(
-                    circuit,
-                    n_vectors,
-                    seed,
-                    simulator=simulator,
-                    compiled=self.compiled_structural(circuit),
-                )
-            else:
-                matrix = structural_matrix_event(
-                    circuit, n_vectors, seed, simulator=simulator
-                )
+            self.telemetry.metrics.add("engine.structural_sim_runs")
+            _LOG.debug(
+                "structural simulation for %s (%d vectors, %s engine)",
+                circuit.name, n_vectors, engine,
+            )
+            with self.telemetry.span(
+                "engine.p_matrix.build",
+                circuit=circuit.name,
+                n_vectors=n_vectors,
+                engine=engine,
+            ):
+                if engine == "batched":
+                    matrix = structural_matrix_batched(
+                        circuit,
+                        n_vectors,
+                        seed,
+                        simulator=simulator,
+                        compiled=self.compiled_structural(circuit),
+                        telemetry=self.telemetry,
+                    )
+                else:
+                    matrix = structural_matrix_event(
+                        circuit, n_vectors, seed, simulator=simulator
+                    )
             return {"p_matrix": matrix}
 
         return self.cache.get_or_build_arrays(key, build)["p_matrix"]
@@ -190,13 +218,16 @@ class AnalysisEngine:
             # rebuilds.  The dense share computation is the dominant
             # non-simulation build cost, so rebuilding per live object
             # would thrash warm paths that reload circuits.
-            structure = masking_structure(
-                circuit,
-                probabilities,
-                indexed=circuit.indexed(),
-                p_matrix=self.p_matrix(circuit, n_vectors, seed),
-                epsilon=epsilon,
-            )
+            with self.telemetry.span(
+                "engine.masking_structure.build", circuit=circuit.name
+            ):
+                structure = masking_structure(
+                    circuit,
+                    probabilities,
+                    indexed=circuit.indexed(),
+                    p_matrix=self.p_matrix(circuit, n_vectors, seed),
+                    epsilon=epsilon,
+                )
             self.cache.put(key, structure)
         return structure
 
@@ -216,10 +247,15 @@ class AnalysisEngine:
         if not pairs:
             return
         axes = tables.axes_digest()
+
+        def build_stack(kind: str) -> dict[str, np.ndarray]:
+            with self.telemetry.span("engine.stacked_lut.build", kind=kind):
+                return {"values": tables.stacked_values(kind, pairs)}
+
         for kind in _STACKED_KINDS:
             key = artifacts.stacked_lut_key(axes, kind, pairs)
             stacked = self.cache.get_or_build_arrays(
-                key, lambda kind=kind: {"values": tables.stacked_values(kind, pairs)}
+                key, lambda kind=kind: build_stack(kind)
             )["values"]
             tables.adopt_stack(kind, pairs, stacked)
 

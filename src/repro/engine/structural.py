@@ -38,6 +38,7 @@ from repro.circuit.netlist import Circuit
 from repro.errors import SimulationError
 from repro.logicsim.bitsim import BitParallelSimulator
 from repro.logicsim.vectors import lane_mask, random_input_words
+from repro.telemetry import resolve
 
 #: Default ceiling on one block's delta tensor (bytes) — blocks shrink
 #: on large circuits so memory stays flat while throughput stays high.
@@ -160,6 +161,7 @@ def structural_matrix_batched(
     compiled: CompiledStructuralCircuit | None = None,
     block_sites: int | None = None,
     max_block_bytes: int = DEFAULT_MAX_BLOCK_BYTES,
+    telemetry=None,
 ) -> np.ndarray:
     """Dense ``(V, O)`` estimate of ``P_ij`` by batched fault simulation.
 
@@ -167,8 +169,10 @@ def structural_matrix_batched(
     ``(n_vectors, seed)``: row order is the indexed circuit's
     topological order, columns are primary outputs in declaration
     order, and the guaranteed diagonal ``P_jj = 1`` is applied exactly
-    as the sparse estimator does.
+    as the sparse estimator does.  ``telemetry`` records one
+    ``structural.block`` span per fault-site block.
     """
+    tel = resolve(telemetry)
     if n_vectors < 1:
         raise SimulationError(f"need at least one vector, got {n_vectors}")
     sim = simulator if simulator is not None else BitParallelSimulator(circuit)
@@ -196,67 +200,70 @@ def structural_matrix_batched(
     levels = idx.level
     for start in range(0, n, block_sites):
         stop = min(start + block_sites, n)
-        site_rows = np.arange(start, stop, dtype=np.int64)
-        site_levels = levels[site_rows]
-        local = site_rows - start
+        with tel.span("structural.block", start=start, stop=stop):
+            site_rows = np.arange(start, stop, dtype=np.int64)
+            site_levels = levels[site_rows]
+            local = site_rows - start
 
-        # Delta against the fault-free base; each site's own row is
-        # pinned to "every valid lane complemented".
-        delta = np.zeros((stop - start, n, n_words), dtype=np.uint64)
-        delta[local, site_rows] = mask
+            # Delta against the fault-free base; each site's own row is
+            # pinned to "every valid lane complemented".
+            delta = np.zeros((stop - start, n, n_words), dtype=np.uint64)
+            delta[local, site_rows] = mask
 
-        candidate = compiled.candidates(start, stop)
-        min_level = int(site_levels.min())
-        for level, entries in compiled.schedule:
-            if level <= min_level:
-                continue
-            for __, rows, fanin_matrix in entries:
-                active = candidate[rows]
-                if not active.any():
+            candidate = compiled.candidates(start, stop)
+            min_level = int(site_levels.min())
+            for level, entries in compiled.schedule:
+                if level <= min_level:
                     continue
-                rows_active = rows[active]
-                fanins = fanin_matrix[active]
-                gtype = idx.gtypes[rows_active[0]]
-                pair_mask = compiled.site_matrix(start, stop, rows_active)
-                # A (site, gate) pair with no reachability is a no-op
-                # (the delta stays zero either way); when such pairs
-                # dominate, evaluate only the live ones.  Both branches
-                # compute identical values for every live pair, so the
-                # result is bit-identical.
-                if (
-                    stop - start > 1
-                    and pair_mask.mean() <= SITE_MASK_MAX_DENSITY
-                ):
-                    s_idx, g_idx = np.nonzero(pair_mask)
-                    if s_idx.size == 0:
+                for __, rows, fanin_matrix in entries:
+                    active = candidate[rows]
+                    if not active.any():
                         continue
-                    pair_fanins = fanins[g_idx]
-                    words = [
-                        base[pair_fanins[:, t]]
-                        ^ delta[s_idx, pair_fanins[:, t]]
-                        for t in range(pair_fanins.shape[1])
-                    ]
-                    faulty = evaluate_words(gtype, words)
-                    target_rows = rows_active[g_idx]
-                    delta[s_idx, target_rows] = (
-                        faulty ^ base[target_rows]
-                    ) & mask
-                else:
-                    words = [
-                        base[fanins[:, t]] ^ delta[:, fanins[:, t]]
-                        for t in range(fanins.shape[1])
-                    ]
-                    faulty = evaluate_words(gtype, words)
-                    delta[:, rows_active] = (faulty ^ base[rows_active]) & mask
-            # Sites whose row sits at this level were just re-evaluated
-            # under *other* faults; restore their own-lane pin.
-            pins = site_rows[site_levels == level]
-            if pins.size:
-                delta[pins - start, pins] = mask
+                    rows_active = rows[active]
+                    fanins = fanin_matrix[active]
+                    gtype = idx.gtypes[rows_active[0]]
+                    pair_mask = compiled.site_matrix(start, stop, rows_active)
+                    # A (site, gate) pair with no reachability is a no-op
+                    # (the delta stays zero either way); when such pairs
+                    # dominate, evaluate only the live ones.  Both branches
+                    # compute identical values for every live pair, so the
+                    # result is bit-identical.
+                    if (
+                        stop - start > 1
+                        and pair_mask.mean() <= SITE_MASK_MAX_DENSITY
+                    ):
+                        s_idx, g_idx = np.nonzero(pair_mask)
+                        if s_idx.size == 0:
+                            continue
+                        pair_fanins = fanins[g_idx]
+                        words = [
+                            base[pair_fanins[:, t]]
+                            ^ delta[s_idx, pair_fanins[:, t]]
+                            for t in range(pair_fanins.shape[1])
+                        ]
+                        faulty = evaluate_words(gtype, words)
+                        target_rows = rows_active[g_idx]
+                        delta[s_idx, target_rows] = (
+                            faulty ^ base[target_rows]
+                        ) & mask
+                    else:
+                        words = [
+                            base[fanins[:, t]] ^ delta[:, fanins[:, t]]
+                            for t in range(fanins.shape[1])
+                        ]
+                        faulty = evaluate_words(gtype, words)
+                        delta[:, rows_active] = (
+                            faulty ^ base[rows_active]
+                        ) & mask
+                # Sites whose row sits at this level were just re-evaluated
+                # under *other* faults; restore their own-lane pin.
+                pins = site_rows[site_levels == level]
+                if pins.size:
+                    delta[pins - start, pins] = mask
 
-        counts[site_rows] = np.bitwise_count(
-            delta[:, idx.output_rows]
-        ).sum(axis=2)
+            counts[site_rows] = np.bitwise_count(
+                delta[:, idx.output_rows]
+            ).sum(axis=2)
 
     p = counts / float(n_vectors)
     p[idx.output_rows, idx.col_of_row[idx.output_rows]] = 1.0

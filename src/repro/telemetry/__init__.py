@@ -1,0 +1,173 @@
+"""Zero-dependency instrumentation: spans, metrics, exporters.
+
+One :class:`Telemetry` handle bundles a :class:`~repro.telemetry.tracer.Tracer`
+and a :class:`~repro.telemetry.metrics.MetricsRegistry`; pass it through
+the optional ``telemetry=`` parameter on ``AsertaAnalyzer``,
+``AnalysisEngine``, ``Sertopt`` or ``CampaignSpec`` and every phase of
+the pipeline records nested spans and named counters into it (see
+``docs/observability.md`` for the span taxonomy and metric registry).
+
+>>> ticks = iter(range(0, 10_000, 1000))
+>>> telemetry = Telemetry(tracer=Tracer(clock=lambda: next(ticks)))
+>>> with telemetry.span("sertopt.optimize", circuit="c17"):
+...     with telemetry.span("sertopt.search"):
+...         telemetry.metrics.add("optimizer.evaluations", 150)
+>>> [s.name for s in telemetry.tracer.spans()]
+['sertopt.search', 'sertopt.optimize']
+>>> telemetry.metrics.snapshot()["counters"]
+{'optimizer.evaluations': 150}
+
+Instrumentation defaults to :data:`NULL_TELEMETRY`, whose ``span()`` is
+a shared no-op context manager — disabled tracing costs an attribute
+lookup, which the ``benchmarks/test_bench_telemetry.py`` gate holds to
+<= 3% of an uninstrumented ``analyze()``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Mapping
+
+from repro.telemetry.export import (
+    aggregate_spans,
+    chrome_trace,
+    chrome_trace_events,
+    format_report,
+    json_summary,
+    span_coverage,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class Telemetry:
+    """One tracer + one metrics registry, passed around as a unit."""
+
+    enabled = True
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def span(self, name: str, **attrs: Any):
+        """Shorthand for ``self.tracer.span(...)``."""
+        return self.tracer.span(name, **attrs)
+
+    def merge(self, shipped: Mapping[str, Any]) -> None:
+        """Fold a worker's shipped payload (``{"spans": [...],
+        "metrics": {...}}``) into this handle — the campaign runner's
+        cross-process aggregation step."""
+        self.tracer.extend(shipped.get("spans", ()))
+        self.metrics.merge(shipped.get("metrics", {}))
+
+    def ship(self) -> dict[str, Any]:
+        """The picklable counterpart of :meth:`merge` (everything
+        recorded so far)."""
+        return {
+            "spans": [span.to_dict() for span in self.tracer.spans()],
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+class NullTelemetry:
+    """Disabled telemetry: shared, stateless, no-op.
+
+    >>> NULL_TELEMETRY.enabled
+    False
+    >>> with NULL_TELEMETRY.span("aserta.analyze"):
+    ...     NULL_TELEMETRY.metrics.add("ignored")
+    """
+
+    enabled = False
+    __slots__ = ()
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+
+    def span(self, name: str, **attrs: Any):
+        return NULL_SPAN
+
+    def merge(self, shipped: Mapping[str, Any]) -> None:
+        return None
+
+    def ship(self) -> dict[str, Any]:
+        return {"spans": [], "metrics": NULL_METRICS.snapshot()}
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def resolve(telemetry: Telemetry | None) -> Telemetry | NullTelemetry:
+    """``telemetry`` or the null handle — what instrumented ``__init__``
+    methods call on their optional parameter."""
+    return NULL_TELEMETRY if telemetry is None else telemetry
+
+
+_CONSOLE_HANDLER: logging.Handler | None = None
+
+
+def enable_console_logging(
+    level: int = logging.DEBUG, stream=None
+) -> logging.Handler:
+    """Attach a console handler to the ``repro`` logger.
+
+    The library itself only ever installs a ``NullHandler`` (library
+    logging etiquette); call this to see the debug-level decision-point
+    lines — cache misses, parallel->serial fallbacks — without
+    configuring :mod:`logging` yourself.  Repeated calls replace the
+    previous handler rather than stacking duplicates.  Returns the
+    handler so callers can detach it (``logger.removeHandler``).
+    """
+    global _CONSOLE_HANDLER
+    logger = logging.getLogger("repro")
+    if _CONSOLE_HANDLER is not None:
+        logger.removeHandler(_CONSOLE_HANDLER)
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    logger.setLevel(min(level, logger.level or level))
+    _CONSOLE_HANDLER = handler
+    return handler
+
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "Span",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "resolve",
+    "enable_console_logging",
+    "aggregate_spans",
+    "chrome_trace",
+    "chrome_trace_events",
+    "format_report",
+    "json_summary",
+    "span_coverage",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

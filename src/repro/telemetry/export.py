@@ -1,0 +1,292 @@
+"""Exporters: Chrome trace events, JSON summaries, human tables.
+
+The Chrome trace-event format (``B``/``E`` duration pairs with ``ts``
+in microseconds plus ``pid``/``tid``) is what ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_ open directly; a merged campaign
+trace shows every worker process as its own track.  The other exporters
+are self-contained: :func:`aggregate_spans` computes per-name totals and
+self-times, :func:`json_summary` bundles spans + metrics for archiving,
+and :func:`format_report` renders the terminal table behind the
+campaign CLI's ``--metrics`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.telemetry.tracer import Span
+
+
+def _as_spans(spans: Iterable[Span | Mapping[str, Any]]) -> list[Span]:
+    return [
+        span if isinstance(span, Span) else Span.from_dict(span)
+        for span in spans
+    ]
+
+
+def _depths(spans: Sequence[Span]) -> dict[tuple[int, int], int]:
+    """Nesting depth per ``(pid, span_id)`` (orphans count as roots)."""
+    by_id = {(span.pid, span.span_id): span for span in spans}
+    depths: dict[tuple[int, int], int] = {}
+
+    def depth_of(span: Span) -> int:
+        key = (span.pid, span.span_id)
+        known = depths.get(key)
+        if known is not None:
+            return known
+        parent = by_id.get((span.pid, span.parent_id))
+        value = 0 if parent is None or parent is span else depth_of(parent) + 1
+        depths[key] = value
+        return value
+
+    for span in spans:
+        depth_of(span)
+    return depths
+
+
+def chrome_trace_events(
+    spans: Iterable[Span | Mapping[str, Any]]
+) -> list[dict[str, Any]]:
+    """Sorted ``B``/``E`` trace events for one span collection.
+
+    Timestamps are ``perf_counter_ns`` converted to microseconds, so
+    events from different processes of one machine land on one
+    consistent timeline.  Ordering is globally monotone in ``ts`` with
+    stack-consistent tie-breaking (ends before begins at equal ``ts``;
+    parents open before and close after their children), and
+    zero-length spans are widened to 1 ns so every ``B`` precedes its
+    ``E`` strictly.
+    """
+    materialized = _as_spans(spans)
+    depths = _depths(materialized)
+    keyed: list[tuple[tuple, dict[str, Any]]] = []
+    for span in materialized:
+        depth = depths[(span.pid, span.span_id)]
+        start_ns = span.start_ns
+        end_ns = max(span.end_ns, start_ns + 1)
+        begin = {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "B",
+            "ts": start_ns / 1e3,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        if span.attrs:
+            begin["args"] = dict(span.attrs)
+        end = {
+            "name": span.name,
+            "ph": "E",
+            "ts": end_ns / 1e3,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        # Sort key: timestamp, then E-before-B on ties, then depth so
+        # parents open first and close last within one instant.
+        keyed.append(((start_ns, 1, depth), begin))
+        keyed.append(((end_ns, 0, -depth), end))
+    keyed.sort(key=lambda pair: pair[0])
+    return [event for __, event in keyed]
+
+
+def chrome_trace(
+    spans: Iterable[Span | Mapping[str, Any]],
+    metadata: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The full JSON-object trace (what Perfetto expects to open)."""
+    trace: dict[str, Any] = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = dict(metadata)
+    return trace
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span | Mapping[str, Any]],
+    metadata: Mapping[str, Any] | None = None,
+) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace(spans, metadata)) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def validate_chrome_trace(trace: Mapping[str, Any] | Sequence) -> list[str]:
+    """Schema problems of a trace (empty list = valid).
+
+    Checks the properties the exporter guarantees: every event carries
+    ``name``/``ph``/``ts``/``pid``/``tid``, timestamps are globally
+    monotone, and per-``(pid, tid)`` the ``B``/``E`` events form
+    balanced, name-matched stacks.
+    """
+    events = (
+        trace.get("traceEvents", []) if isinstance(trace, Mapping) else trace
+    )
+    problems: list[str] = []
+    last_ts = float("-inf")
+    stacks: dict[tuple, list[str]] = {}
+    for index, event in enumerate(events):
+        missing = [
+            field
+            for field in ("name", "ph", "ts", "pid", "tid")
+            if field not in event
+        ]
+        if missing:
+            problems.append(f"event {index} missing fields {missing}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {index} has non-numeric ts {ts!r}")
+            continue
+        if ts < last_ts:
+            problems.append(
+                f"event {index} ts {ts} < previous ts {last_ts} "
+                "(timestamps must be monotone)"
+            )
+        last_ts = max(last_ts, ts)
+        stack = stacks.setdefault((event["pid"], event["tid"]), [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        elif event["ph"] == "E":
+            if not stack:
+                problems.append(
+                    f"event {index} ends {event['name']!r} on an empty stack"
+                )
+            elif stack[-1] != event["name"]:
+                problems.append(
+                    f"event {index} ends {event['name']!r} but "
+                    f"{stack[-1]!r} is open"
+                )
+            else:
+                stack.pop()
+        else:
+            problems.append(
+                f"event {index} has unsupported phase {event['ph']!r}"
+            )
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            problems.append(
+                f"unbalanced stack on pid={pid} tid={tid}: {stack} never end"
+            )
+    return problems
+
+
+def aggregate_spans(
+    spans: Iterable[Span | Mapping[str, Any]]
+) -> dict[str, dict[str, Any]]:
+    """Per-name totals: count, total wall, self time (total minus direct
+    children), min/max durations — the ``trace_summary`` data model."""
+    materialized = _as_spans(spans)
+    child_totals: dict[tuple[int, int], int] = {}
+    for span in materialized:
+        key = (span.pid, span.parent_id)
+        child_totals[key] = child_totals.get(key, 0) + span.duration_ns
+    totals: dict[str, dict[str, Any]] = {}
+    for span in materialized:
+        duration = span.duration_ns
+        self_ns = max(
+            0, duration - child_totals.get((span.pid, span.span_id), 0)
+        )
+        bucket = totals.get(span.name)
+        if bucket is None:
+            totals[span.name] = {
+                "count": 1,
+                "total_s": duration / 1e9,
+                "self_s": self_ns / 1e9,
+                "min_s": duration / 1e9,
+                "max_s": duration / 1e9,
+            }
+        else:
+            bucket["count"] += 1
+            bucket["total_s"] += duration / 1e9
+            bucket["self_s"] += self_ns / 1e9
+            bucket["min_s"] = min(bucket["min_s"], duration / 1e9)
+            bucket["max_s"] = max(bucket["max_s"], duration / 1e9)
+    return totals
+
+
+def span_coverage(
+    spans: Iterable[Span | Mapping[str, Any]], root_name: str
+) -> float:
+    """Fraction of ``root_name``'s wall time its direct children cover.
+
+    The acceptance observable for "per-phase totals account for >= 90%
+    of wall time": for every span named ``root_name``, sum the durations
+    of its direct children and divide by the summed root duration.
+    Returns 0.0 when no such root exists.
+    """
+    materialized = _as_spans(spans)
+    roots = {
+        (span.pid, span.span_id): span
+        for span in materialized
+        if span.name == root_name
+    }
+    if not roots:
+        return 0.0
+    covered = sum(
+        span.duration_ns
+        for span in materialized
+        if (span.pid, span.parent_id) in roots
+    )
+    total = sum(span.duration_ns for span in roots.values())
+    return covered / total if total > 0 else 0.0
+
+
+def json_summary(telemetry) -> dict[str, Any]:
+    """Metrics snapshot + per-name span aggregates, JSON-ready."""
+    return {
+        "metrics": telemetry.metrics.snapshot(),
+        "spans": aggregate_spans(telemetry.tracer.spans()),
+    }
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def format_report(telemetry) -> str:
+    """Human-readable table of spans (by total time) and metrics."""
+    lines: list[str] = []
+    aggregates = aggregate_spans(telemetry.tracer.spans())
+    if aggregates:
+        lines.append("spans (by total time):")
+        header = f"  {'name':<36} {'count':>6} {'total':>12} {'self':>12}"
+        lines.append(header)
+        ordered = sorted(
+            aggregates.items(), key=lambda item: (-item[1]["total_s"], item[0])
+        )
+        for name, bucket in ordered:
+            lines.append(
+                f"  {name:<36} {bucket['count']:>6} "
+                f"{_format_seconds(bucket['total_s']):>12} "
+                f"{_format_seconds(bucket['self_s']):>12}"
+            )
+    snapshot = telemetry.metrics.snapshot()
+    if snapshot["counters"]:
+        lines.append("counters:")
+        for name in sorted(snapshot["counters"]):
+            lines.append(f"  {name:<48} {snapshot['counters'][name]:>12}")
+    if snapshot["gauges"]:
+        lines.append("gauges:")
+        for name in sorted(snapshot["gauges"]):
+            lines.append(f"  {name:<48} {snapshot['gauges'][name]:>12g}")
+    if snapshot["timers"]:
+        lines.append("timers:")
+        for name in sorted(snapshot["timers"]):
+            bucket = snapshot["timers"][name]
+            lines.append(
+                f"  {name:<40} {bucket['count']:>6} x "
+                f"{_format_seconds(bucket['total_s']):>12}"
+            )
+    if not lines:
+        return "no telemetry recorded"
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""Nested spans over the monotonic clock.
+
+A :class:`Tracer` records *spans* — named, attributed intervals of
+``time.perf_counter_ns()`` — nested per thread via a ``with`` API:
+
+>>> ticks = iter(range(0, 1000, 100))
+>>> tracer = Tracer(clock=lambda: next(ticks))
+>>> with tracer.span("analyze", circuit="c17"):
+...     with tracer.span("masking_sweep"):
+...         pass
+>>> [(s.name, s.start_ns, s.end_ns) for s in tracer.spans()]
+[('masking_sweep', 100, 200), ('analyze', 0, 300)]
+>>> child, parent = tracer.spans()
+>>> child.parent_id == parent.span_id
+True
+
+``perf_counter_ns`` is ``CLOCK_MONOTONIC`` on Linux, so timestamps are
+comparable *across processes on one machine*: worker spans shipped back
+by a campaign merge into the parent's timeline without clock
+translation.  Span identity is ``(pid, span_id)`` — ids are only unique
+within one process, so cross-process consumers must key parents by pid
+too (the exporters in :mod:`repro.telemetry.export` do).
+
+Disabled tracing must cost nothing: :data:`NULL_TRACER` answers
+``span()`` with one shared no-op context manager, so an uninstrumented
+hot loop pays an attribute lookup and a dict build per call site.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from itertools import count
+from typing import Any, Callable, Iterable, Mapping
+
+
+class Span:
+    """One finished (or in-flight) traced interval.
+
+    Timestamps are raw ``perf_counter_ns`` values (monotonic, ns);
+    ``pid``/``tid`` identify where the span ran; ``parent_id`` is the
+    ``span_id`` of the enclosing span in the same process (0 = root).
+    """
+
+    __slots__ = (
+        "name", "attrs", "pid", "tid",
+        "span_id", "parent_id", "start_ns", "end_ns",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        pid: int,
+        tid: int,
+        span_id: int,
+        parent_id: int,
+        start_ns: int,
+        end_ns: int = 0,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.pid = pid
+        self.tid = tid
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.end_ns - self.start_ns)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON/pickle-friendly form (what campaign workers ship)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "tid": self.tid,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        return cls(
+            name=payload["name"],
+            attrs=dict(payload.get("attrs", {})),
+            pid=int(payload["pid"]),
+            tid=int(payload["tid"]),
+            span_id=int(payload["span_id"]),
+            parent_id=int(payload.get("parent_id", 0)),
+            start_ns=int(payload["start_ns"]),
+            end_ns=int(payload["end_ns"]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_ns / 1e6:.3f} ms, "
+            f"pid={self.pid}, tid={self.tid})"
+        )
+
+
+class _SpanHandle:
+    """The context manager one ``tracer.span(...)`` call returns."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._begin(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        assert self._span is not None
+        self._tracer._end(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-aware span recorder with a process-wide finished buffer.
+
+    Each thread keeps its own span stack (nesting is per thread); the
+    finished-span buffer is shared and lock-guarded.  ``clock`` is
+    injectable for deterministic tests; the default is
+    ``time.perf_counter_ns``.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._ids = count(1)
+
+    # -------------------------------------------------------------- API
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """A context manager recording one nested span named ``name``."""
+        return _SpanHandle(self, name, attrs)
+
+    def record(
+        self, name: str, start_ns: int, end_ns: int, **attrs: Any
+    ) -> Span:
+        """Record an already-measured interval as a finished span.
+
+        Used for retrospective phases measured outside a ``with`` block
+        (e.g. the campaign runner's pool spin-up, reconstructed from
+        worker-reported timestamps).  The span parents under the current
+        thread's innermost open span.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else 0
+        span = Span(
+            name, attrs, os.getpid(), threading.get_ident(),
+            next(self._ids), parent, int(start_ns), int(end_ns),
+        )
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    def spans(self) -> tuple[Span, ...]:
+        """Every finished span so far (recording order: children first)."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def extend(self, spans: Iterable[Span | Mapping[str, Any]]) -> None:
+        """Merge foreign spans (objects or ``to_dict`` payloads) into the
+        buffer — the cross-process aggregation entry point."""
+        adopted = [
+            span if isinstance(span, Span) else Span.from_dict(span)
+            for span in spans
+        ]
+        with self._lock:
+            self._finished.extend(adopted)
+
+    # -------------------------------------------------------- internals
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _begin(self, name: str, attrs: dict) -> Span:
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else 0
+        span = Span(
+            name, attrs, os.getpid(), threading.get_ident(),
+            next(self._ids), parent, self._clock(),
+        )
+        stack.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        span.end_ns = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - mis-nested exit; keep the buffer sane
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._finished.append(span)
+
+
+class _NullSpanContext:
+    """Shared no-op ``with`` target for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracer with the same surface and no effect.
+
+    >>> with NULL_TRACER.span("anything", circuit="c17"):
+    ...     pass
+    >>> NULL_TRACER.spans()
+    ()
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return NULL_SPAN
+
+    def record(self, name: str, start_ns: int, end_ns: int, **attrs: Any) -> None:
+        return None
+
+    def spans(self) -> tuple[Span, ...]:
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None
+
+    def extend(self, spans: Iterable) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

@@ -713,6 +713,54 @@ class TestParallelAmortization:
         assert order[0] != order[1]
         assert order[2] != order[3]
 
+    def test_batch_stats_timing_fields_self_consistent(self):
+        """Every batch reports its wall clock and the two phases inside
+        it (analyzer build, analyze calls); the phases can never exceed
+        the wall.  This is the accounting that explains where a slow
+        campaign actually spends its time (see docs/observability.md)."""
+        from repro.campaign.runner import clear_analyzer_cache
+
+        clear_analyzer_cache()
+        outcome = CampaignRunner(small_spec(), store=ResultStore()).run(
+            parallel=False
+        )
+        assert outcome.batch_stats
+        for stats in outcome.batch_stats:
+            assert stats["wall_s"] > 0.0
+            assert stats["analyzer_build_s"] >= 0.0
+            assert stats["analyze_s"] > 0.0  # fresh run: analyses happened
+            assert (
+                stats["analyzer_build_s"] + stats["analyze_s"]
+                <= stats["wall_s"] + 1e-9
+            )
+            assert stats["started_at_ns"] < stats["ended_at_ns"]
+            assert stats["wall_s"] == pytest.approx(
+                (stats["ended_at_ns"] - stats["started_at_ns"]) / 1e9
+            )
+        # Serial runs have no pool to spin up or results to ship back.
+        assert outcome.pool_spinup_s == 0.0
+        assert outcome.result_recv_s == 0.0
+        clear_analyzer_cache()
+
+    def test_parallel_overhead_accounting_when_pool_available(self):
+        """Parallel outcomes decompose the wall time the merged trace
+        shows: pool spin-up before the first worker batch starts, and
+        result shipping after the last one ends."""
+        outcome = CampaignRunner(
+            small_spec(), store=ResultStore(), max_workers=2
+        ).run(parallel=True)
+        if outcome.mode != "parallel":
+            pytest.skip("process pool unavailable in this sandbox")
+        assert outcome.pool_spinup_s >= 0.0
+        assert outcome.result_recv_s >= 0.0
+        overhead = outcome.pool_spinup_s + outcome.result_recv_s
+        assert overhead <= outcome.wall_s
+        # Worker batch endpoints are perf_counter_ns values from other
+        # processes; being monotonic machine-wide they must land inside
+        # the runner's own window.
+        for stats in outcome.batch_stats:
+            assert stats["started_at_ns"] < stats["ended_at_ns"]
+
     def test_parallel_reuse_counters_when_pool_available(self):
         from repro.campaign.runner import clear_analyzer_cache
 

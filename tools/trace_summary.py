@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Summarize a Chrome trace file: top-N spans by self-time.
+
+Reads a trace written by :func:`repro.telemetry.write_chrome_trace`
+(or any Chrome trace-event JSON using B/E duration pairs) and prints
+one line per span *name*, aggregated across occurrences, ranked by
+self-time — the time inside a span not covered by its children, i.e.
+where the program actually was.
+
+Usage::
+
+    python tools/trace_summary.py trace.json          # top 15
+    python tools/trace_summary.py trace.json --top 5
+
+Stdlib-only on purpose: point it at a trace from any machine without
+installing the repro package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Sequence
+
+
+def load_events(path: str) -> list[dict]:
+    """The trace-event list of one Chrome trace file.
+
+    Accepts both the object form (``{"traceEvents": [...]}``, what
+    ``write_chrome_trace`` emits) and the bare array form.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents", [])
+    else:
+        events = payload
+    return [event for event in events if isinstance(event, dict)]
+
+
+def summarize_events(events: Iterable[dict]) -> list[dict]:
+    """Aggregate B/E duration pairs into per-name rows.
+
+    Returns rows sorted by descending self-time, each with ``name``,
+    ``count``, ``total_us`` and ``self_us``.  Self-time is computed per
+    span instance from its direct children on the same (pid, tid)
+    track, matched by B/E nesting — exactly the Chrome-trace stacking
+    rule, so the numbers agree with what Perfetto renders.
+    """
+    # Replay each (pid, tid) track's B/E stream against a stack.
+    tracks: dict[tuple, list[dict]] = {}
+    for event in events:
+        if event.get("ph") in ("B", "E"):
+            key = (event.get("pid", 0), event.get("tid", 0))
+            tracks.setdefault(key, []).append(event)
+
+    totals: dict[str, dict] = {}
+    for stream in tracks.values():
+        stream.sort(key=lambda event: event["ts"])
+        stack: list[dict] = []  # frames: {name, ts, child_us}
+        for event in stream:
+            if event["ph"] == "B":
+                stack.append(
+                    {"name": event.get("name", "?"), "ts": event["ts"], "child_us": 0.0}
+                )
+            elif stack:
+                frame = stack.pop()
+                duration = max(0.0, event["ts"] - frame["ts"])
+                if stack:
+                    stack[-1]["child_us"] += duration
+                row = totals.setdefault(
+                    frame["name"], {"count": 0, "total_us": 0.0, "self_us": 0.0}
+                )
+                row["count"] += 1
+                row["total_us"] += duration
+                row["self_us"] += max(0.0, duration - frame["child_us"])
+    rows = [{"name": name, **row} for name, row in totals.items()]
+    rows.sort(key=lambda row: (-row["self_us"], row["name"]))
+    return rows
+
+
+def format_summary(rows: Sequence[dict], top: int = 15) -> str:
+    """A fixed-width table of the ``top`` rows by self-time."""
+    lines = [
+        f"{'name':<40} {'count':>6} {'total':>12} {'self':>12}",
+    ]
+    for row in rows[:top]:
+        lines.append(
+            f"{row['name']:<40} {row['count']:>6} "
+            f"{row['total_us'] / 1e3:>9.3f} ms {row['self_us'] / 1e3:>9.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/trace_summary.py",
+        description="Top-N spans by self-time from a Chrome trace file.",
+    )
+    parser.add_argument("trace", help="Chrome trace JSON file")
+    parser.add_argument(
+        "--top", type=int, default=15, metavar="N", help="rows to print (default 15)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    rows = summarize_events(events)
+    if not rows:
+        print(f"error: no B/E duration events in {args.trace}", file=sys.stderr)
+        return 1
+    print(format_summary(rows, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
