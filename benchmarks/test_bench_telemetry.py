@@ -198,9 +198,8 @@ def test_traced_two_worker_campaign_trace_is_valid():
         seed=3,
         telemetry=tel,
     )
-    outcome = CampaignRunner(spec, store=ResultStore(), max_workers=2).run(
-        parallel=True
-    )
+    with CampaignRunner(spec, store=ResultStore(), max_workers=2) as runner:
+        outcome = runner.run(parallel=True)
     assert outcome.computed == spec.size()
     spans = tel.tracer.spans()
     assert validate_chrome_trace(chrome_trace(spans)) == []
@@ -212,7 +211,8 @@ def test_traced_two_worker_campaign_trace_is_valid():
         # ...and the overhead decomposition is on the same timeline.
         names = {span.name for span in spans}
         assert "campaign.pool_spinup" in names
-        assert "campaign.result_recv" in names
+        assert "campaign.steal" in names
+        assert "campaign.stream_recv" in names
     clear_analyzer_cache()
     print(
         f"\ntraced campaign ({outcome.mode}): {len(spans)} spans, "

@@ -20,6 +20,11 @@ from repro.campaign.environments import (
     environment,
     fit_per_mb,
 )
+from repro.campaign.pool import (
+    WorkerPool,
+    WorkerPoolBroken,
+    WorkerPoolError,
+)
 from repro.campaign.runner import (
     CampaignOutcome,
     CampaignRunner,
@@ -30,7 +35,14 @@ from repro.campaign.spec import (
     ScenarioKey,
     assignment_fingerprint,
 )
-from repro.campaign.store import ResultStore, ScenarioResult
+from repro.campaign.store import (
+    JsonlBackend,
+    ResultStore,
+    ScenarioResult,
+    SqliteBackend,
+    StoreBackend,
+    merge_stores,
+)
 from repro.campaign.summarize import (
     AssignmentRanking,
     CampaignSummary,
@@ -53,15 +65,22 @@ __all__ = [
     "CampaignSummary",
     "Environment",
     "EnvironmentRates",
+    "JsonlBackend",
     "ResultStore",
     "ScenarioKey",
     "ScenarioResult",
+    "SqliteBackend",
+    "StoreBackend",
+    "WorkerPool",
+    "WorkerPoolBroken",
+    "WorkerPoolError",
     "assignment_fingerprint",
     "clear_analyzer_cache",
     "environment",
     "fit_per_mb",
     "format_observability_table",
     "format_runtime_accounting",
+    "merge_stores",
     "observability_rows",
     "summarize",
 ]

@@ -21,7 +21,7 @@ from typing import Sequence
 from repro.campaign.environments import ENVIRONMENTS, environment
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import STORE_BACKENDS, ResultStore
 from repro.campaign.summarize import format_runtime_accounting, summarize
 from repro.errors import CampaignError, ReproError
 from repro.tech import constants as k
@@ -73,7 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--store", metavar="PATH", default=None,
-        help="JSONL result store; completed scenarios are skipped on re-runs",
+        help="persistent result store; completed scenarios are skipped "
+        "on re-runs.  A .sqlite/.sqlite3/.db suffix selects the SQLite "
+        "backend (concurrent-writer safe, O(1) resume), anything else "
+        "JSONL",
+    )
+    parser.add_argument(
+        "--store-backend", default="auto",
+        choices=list(STORE_BACKENDS),
+        help="override the suffix-based store backend selection",
+    )
+    parser.add_argument(
+        "--compact-store", action="store_true",
+        help="rewrite the store without redundant history after the "
+        "run (JSONL: drop superseded lines, atomic rename; SQLite: "
+        "checkpoint + VACUUM)",
     )
     parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
@@ -141,18 +155,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             telemetry=telemetry,
             **extra,
         )
-        store = ResultStore(args.store) if args.store else ResultStore()
-        runner = CampaignRunner(spec, store=store, max_workers=args.workers)
+        store = (
+            ResultStore(args.store, backend=args.store_backend)
+            if args.store
+            else ResultStore()
+        )
         parallel = True if args.parallel else False if args.serial else None
-        outcome = runner.run(parallel=parallel)
-        summary = summarize(outcome)
-        print(summary.format_fit_table())
-        print()
-        print(summary.format_best_table())
-        print()
-        print(format_runtime_accounting(outcome))
-        if store.path is not None:
-            print(f"store: {store.path} ({len(store)} results)")
+        with store, CampaignRunner(
+            spec, store=store, max_workers=args.workers
+        ) as runner:
+            outcome = runner.run(parallel=parallel)
+            summary = summarize(outcome)
+            print(summary.format_fit_table())
+            print()
+            print(summary.format_best_table())
+            print()
+            print(format_runtime_accounting(outcome))
+            if args.compact_store:
+                dropped = store.compact()
+                print(f"compacted store: {dropped} redundant record(s) dropped")
+            if store.path is not None:
+                print(
+                    f"store: {store.path} ({len(store)} results, "
+                    f"{store.backend_name} backend)"
+                )
         if telemetry is not None and args.metrics:
             from repro.telemetry import format_report
 

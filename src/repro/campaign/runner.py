@@ -15,10 +15,14 @@ environment or sample-width count.  The runner therefore
 
 Scenarios already present in the :class:`ResultStore` are skipped before
 any work is dispatched, which is the resume path.  Parallel execution
-uses :class:`concurrent.futures.ProcessPoolExecutor`; anything that
-prevents the pool from working (a sandbox without process spawning, a
-non-picklable custom assignment) falls back to the serial path rather
-than failing the campaign.
+uses a pre-forked :class:`~repro.campaign.pool.WorkerPool` — workers
+fork once per runner (or are handed in and shared across runs), warm up
+from the on-disk artifact cache, steal batches from a shared queue and
+stream results back so the store is appended to as they arrive.
+Anything that prevents the pool from working (a sandbox without process
+spawning, a non-picklable custom assignment) falls back to the serial
+path rather than failing the campaign, and a worker dying mid-run
+demotes only the *remaining* batches to serial execution.
 """
 
 from __future__ import annotations
@@ -31,6 +35,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.campaign.environments import Environment
+from repro.campaign.pool import (
+    WorkerPool,
+    WorkerPoolBroken,
+    WorkerPoolError,
+)
 from repro.campaign.spec import CampaignSpec, ScenarioKey
 from repro.campaign.store import ResultStore, ScenarioResult
 from repro.circuit.iscas85 import iscas85_circuit
@@ -241,6 +250,10 @@ def _evaluate_batch(
         "group": group,
         "analyzer_builds": _WORKER_STATS["analyzer_builds"],
         "analyzer_reuses": _WORKER_STATS["analyzer_reuses"],
+        # Process-cumulative fault simulations: 0 on a worker that
+        # served every structural pass from the (disk) artifact cache —
+        # the observable behind the warm-handoff benchmark gate.
+        "structural_sim_runs": _engine_for(cache_dir).structural_sim_runs,
         "wall_s": (batch_ended_ns - batch_started_ns) / 1e9,
         "analyzer_build_s": build_s,
         "analyze_s": analyze_s,
@@ -271,22 +284,28 @@ class CampaignOutcome:
     mode: str
     #: Worker processes used (1 for serial).
     workers: int
-    #: Per-batch worker stats (pid, cumulative analyzer build/reuse
-    #: counters at batch completion, and the batch's phase timings —
+    #: Per-batch worker stats (pid plus stable ``worker`` label under
+    #: parallel execution, cumulative analyzer build/reuse counters at
+    #: batch completion, and the batch's phase timings —
     #: ``wall_s``/``analyzer_build_s``/``analyze_s`` plus raw
-    #: ``started_at_ns``/``ended_at_ns`` timeline endpoints), in
-    #: dispatch order.  Empty when the run had no work.  This is the
-    #: observable the parallel-reuse and phase-accounting tests assert
-    #: on.
+    #: ``started_at_ns``/``ended_at_ns`` timeline endpoints; parallel
+    #: batches add the pool's measured ``steal_wait_ns`` and
+    #: ``sent_at_ns``/``received_at_ns`` shipping endpoints).  Serial
+    #: batches appear in dispatch order, parallel batches in completion
+    #: (stream-arrival) order.  Empty when the run had no work.  This
+    #: is the observable the parallel-reuse and phase-accounting tests
+    #: assert on.
     batch_stats: tuple[dict, ...] = ()
-    #: Parallel mode only: seconds between dispatching the batches and
-    #: the first worker *starting* to compute — the pool's process
-    #: spin-up (interpreter + NumPy import), the fixed cost that makes
-    #: small grids slower parallel than serial.  0.0 under serial.
+    #: Parallel mode only: the pool's *measured* fork-to-ready spin-up
+    #: (process start + engine handle + disk-cache preload in every
+    #: worker), paid inside this run.  0.0 under serial execution and
+    #: when the run reused an already-started resident pool — the
+    #: amortization the pre-forked pool exists to provide.
     pool_spinup_s: float = 0.0
-    #: Parallel mode only: seconds between the last worker *finishing*
-    #: its batch and the runner holding every deserialized result —
-    #: the result-shipping tail.  0.0 under serial.
+    #: Parallel mode only: total measured result-shipping time — the
+    #: sum over batches of (parent receive - worker send).  Streaming
+    #: overlaps shipping with computation, so this is overhead *volume*,
+    #: not a wall-clock tail.  0.0 under serial.
     result_recv_s: float = 0.0
 
     @property
@@ -294,12 +313,19 @@ class CampaignOutcome:
         total = self.computed + self.skipped
         return total / self.wall_s if self.wall_s > 0.0 else 0.0
 
-    def analyzer_builds_by_worker(self) -> dict[int, int]:
-        """Structural analyzer builds per worker pid (final counters)."""
-        final: dict[int, int] = {}
+    def analyzer_builds_by_worker(self) -> dict[str, int]:
+        """Structural analyzer builds per worker (final counters).
+
+        Keyed by the pool's stable worker labels (``w0``, ``w1``, …;
+        ``main`` for serially executed batches), never raw pids —
+        labels are comparable across runs and machines, which is what
+        lets ``BENCH_campaign.json`` commit them without churning.
+        """
+        final: dict[str, int] = {}
         for stats in self.batch_stats:
-            final[stats["pid"]] = max(
-                final.get(stats["pid"], 0), stats["analyzer_builds"]
+            worker = stats.get("worker", "main")
+            final[worker] = max(
+                final.get(worker, 0), stats["analyzer_builds"]
             )
         return final
 
@@ -310,11 +336,24 @@ class CampaignRunner:
     Scenarios already present in the ``store`` (by digest) are skipped;
     the rest are analyzed serially or process-parallel.
     ``parallel=None`` (default) picks serial below
-    ``parallel_min_units`` analysis units — pool startup dominates
-    small grids — and parallel above it; ``max_workers`` sizes the
-    pool.  :meth:`run` returns a :class:`CampaignOutcome` whose
-    ``results`` follow the spec's deterministic grid order regardless
-    of execution mode.
+    ``parallel_min_units`` analysis units — pool spin-up dominates
+    small grids — and parallel above it; an already-started resident
+    pool waives the threshold (its spin-up is paid) but never the
+    multi-CPU requirement.  ``max_workers`` sizes the pool.
+
+    The parallel path runs on a pre-forked
+    :class:`~repro.campaign.pool.WorkerPool`.  Pass one via ``pool`` to
+    share a warm pool across runners and runs (the caller owns its
+    lifetime); otherwise the runner forks its own on the first parallel
+    run, keeps it resident for later runs, and tears it down in
+    :meth:`close` (the runner is also a context manager).  Freshly
+    computed results are appended to the store *as they stream in*, so
+    an interrupted run resumes from the last completed batch, not the
+    last completed run.
+
+    :meth:`run` returns a :class:`CampaignOutcome` whose ``results``
+    follow the spec's deterministic grid order regardless of execution
+    mode.
     """
 
     def __init__(
@@ -323,6 +362,7 @@ class CampaignRunner:
         store: ResultStore | None = None,
         max_workers: int | None = None,
         parallel_min_units: int = PARALLEL_MIN_UNITS,
+        pool: WorkerPool | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise CampaignError(f"max_workers must be >= 1, got {max_workers}")
@@ -334,6 +374,25 @@ class CampaignRunner:
         self.store = store if store is not None else ResultStore()
         self.max_workers = max_workers
         self.parallel_min_units = parallel_min_units
+        self.pool = pool
+        self._owns_pool = False
+
+    def close(self) -> None:
+        """Shut down the runner-owned worker pool, if one was forked.
+
+        Pools handed in by the caller are left running — they may be
+        shared with other runners (that is the point of passing one).
+        """
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+            self.pool = None
+            self._owns_pool = False
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _batches(
         self, pending: Sequence[ScenarioKey], workers: int
@@ -400,18 +459,26 @@ class CampaignRunner:
         """Evaluate every scenario not already in the store.
 
         ``parallel=None`` auto-selects: parallel when there is more than
-        one batch of work, more than one CPU, *and* the pending grid is
-        at least ``parallel_min_units`` analysis units — below that,
-        pool startup costs more than the work itself and the serial
-        path wins (the regression the campaign benchmark showed).
-        ``parallel=True`` forces dispatch regardless of grid size and
-        falls back to serial execution if a process pool cannot be used.
+        one batch of work, more than one CPU, *and* either the pending
+        grid is at least ``parallel_min_units`` analysis units or a
+        resident pool is already started (its spin-up — the fixed cost
+        that made small grids slower parallel than serial — is already
+        paid).  ``parallel=True`` forces dispatch regardless of grid
+        size and falls back to serial execution if a worker pool cannot
+        be used.
+
+        Freshly computed results are appended to the store as each
+        batch completes — streamed from the workers under parallel
+        execution — so a run interrupted mid-campaign has persisted
+        everything it finished.
 
         With ``spec.telemetry`` set, the run records a ``campaign.run``
-        span tree (plan / execute / finalize, plus retrospective pool
-        spin-up and result-shipping spans under parallel execution) and
-        merges every worker's shipped span buffer and metric snapshot
-        into the one handle — the cross-process campaign timeline.
+        span tree (plan / execute / finalize; parallel execution adds a
+        measured ``campaign.pool_spinup`` span when the pool starts
+        inside this run, plus per-batch measured ``campaign.steal`` and
+        ``campaign.stream_recv`` spans) and merges every worker's
+        shipped span buffer and metric snapshot into the one handle —
+        the cross-process campaign timeline.
         """
         started = time.perf_counter()
         tel = resolve(self.spec.telemetry)
@@ -431,11 +498,15 @@ class CampaignRunner:
                 batches = self._batches(pending, workers)
                 workers = max(1, min(workers, len(batches)))
                 if parallel is None:
+                    pool_ready = self.pool is not None and self.pool.started
                     parallel = (
                         workers > 1
                         and cpus > 1
-                        and self._pending_units(pending)
-                        >= self.parallel_min_units
+                        and (
+                            pool_ready
+                            or self._pending_units(pending)
+                            >= self.parallel_min_units
+                        )
                     )
 
             mode = "serial"
@@ -453,6 +524,7 @@ class CampaignRunner:
                             dispatched
                         )
                         mode = "parallel"
+                        workers = self.pool.workers if self.pool else workers
                 if mode == "serial":
                     workers = 1
                     for group, config, items, cache_dir in batches:
@@ -462,6 +534,8 @@ class CampaignRunner:
                         )
                         computed.extend(results)
                         batch_stats.append(stats)
+                        for result in results:
+                            self.store.add(result)
 
             # Workers record into fresh local handles (a Telemetry does
             # not pickle); their shipped payloads merge here, after which
@@ -472,9 +546,6 @@ class CampaignRunner:
                     tel.merge(payload)
 
             with tel.span("campaign.finalize"):
-                for result in computed:
-                    self.store.add(result)
-
                 ordered: list[ScenarioResult] = []
                 for key in keys:
                     digest = key.digest()
@@ -503,98 +574,145 @@ class CampaignRunner:
             result_recv_s=result_recv_s,
         )
 
-    @staticmethod
+    def _pool_for_run(self, workers: int) -> tuple[WorkerPool | None, float]:
+        """The pool this run executes on, starting it if necessary.
+
+        Returns ``(pool, spinup_s)`` where ``spinup_s`` is the measured
+        fork-to-ready time when the pool was started *inside this call*
+        and 0.0 when an already-resident pool was reused (its spin-up
+        was paid earlier — the amortization).  Returns ``(None, 0.0)``
+        when no pool can be brought up, which sends the caller to the
+        serial path.
+        """
+        pool = self.pool
+        created = False
+        if pool is None:
+            pool = WorkerPool(workers, cache_dir=self.spec.cache_dir)
+            created = True
+        started_here = not pool.started
+        try:
+            spinup_s = pool.start()
+        except WorkerPoolError as exc:
+            _LOG.warning(
+                "worker pool unavailable (%s); falling back to serial "
+                "execution", exc,
+            )
+            if created:
+                pool.close()
+            elif self._owns_pool:
+                self.pool = None
+                self._owns_pool = False
+            return None, 0.0
+        if created:
+            self.pool = pool
+            self._owns_pool = True
+        return pool, spinup_s if started_here else 0.0
+
     def _run_parallel(
+        self,
         batches: Sequence[tuple[tuple, AsertaConfig, list[WorkItem], str | None]],
         workers: int,
         ship: bool = False,
         tel=None,
     ) -> tuple[list[ScenarioResult], list[dict], float, float] | None:
-        """Dispatch the batches to a process pool.
+        """Stream the batches through the resident worker pool.
 
-        Returns ``None`` when the pool itself is unusable — construction
-        failed (no semaphore support), worker spawning failed (a sandbox
-        that denies fork/spawn; processes are spawned lazily by
-        ``submit``, not construction), or the pool broke mid-flight
-        (:class:`BrokenExecutor`) — so the caller falls back to the
-        serial path (each fallback site logs a WARNING naming its
-        cause).  Exceptions raised by the analysis code inside a worker
-        never surface through ``submit``; they are re-raised by
-        ``future.result()`` as themselves (including worker-side
-        ``OSError``) and propagate, exactly as they would on the serial
-        path.
+        Returns ``None`` when no pool can be brought up at all (a
+        sandbox that denies fork — the caller falls back to the serial
+        path, logging a WARNING).  A worker *dying* mid-run demotes
+        only the not-yet-completed batches to in-process execution, so
+        the work already streamed back is never recomputed.  Exceptions
+        raised by analysis code inside a worker re-raise here as
+        themselves, exactly as on the serial path.
 
-        On success also returns the pool spin-up and result-shipping
-        seconds, reconstructed from the workers' monotonic batch
-        endpoints (``perf_counter_ns`` is machine-wide comparable); with
-        ``ship=True`` the same two intervals are recorded as
-        retrospective spans into ``tel``.
+        Each completed batch is appended to the store the moment it
+        arrives.  With ``ship=True``, per-batch measured
+        ``campaign.steal`` (worker blocked on the shared queue) and
+        ``campaign.stream_recv`` (worker send to parent receive) spans
+        are recorded into ``tel`` from the workers' own
+        ``perf_counter_ns`` endpoints (machine-wide comparable), and a
+        measured ``campaign.pool_spinup`` span when the pool started
+        inside this run.
         """
-        from concurrent.futures import BrokenExecutor
-
         tel = resolve(tel)
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (ImportError, NotImplementedError, OSError) as exc:
-            _LOG.warning(
-                "process pool unavailable (%s); falling back to serial "
-                "execution", exc,
-            )
+        spinup_started_ns = time.perf_counter_ns()
+        pool, spinup_s = self._pool_for_run(workers)
+        if pool is None:
             return None
-        dispatch_ns = time.perf_counter_ns()
-        results: list[ScenarioResult] = []
-        batch_stats: list[dict] = []
-        try:
-            with pool:
-                try:
-                    futures = [
-                        pool.submit(
-                            _evaluate_batch, group, config, items, cache_dir,
-                            None, ship,
-                        )
-                        for group, config, items, cache_dir in batches
-                    ]
-                except OSError as exc:
-                    _LOG.warning(
-                        "process pool could not spawn workers (%s); "
-                        "falling back to serial execution", exc,
-                    )
-                    return None
-                for future in futures:
-                    batch_results, stats = future.result()
-                    results.extend(batch_results)
-                    batch_stats.append(stats)
-        except BrokenExecutor as exc:
-            _LOG.warning(
-                "process pool broke mid-flight (%s); falling back to "
-                "serial execution", exc,
-            )
-            return None
-        end_ns = time.perf_counter_ns()
-        first_start_ns = min(
-            (stats["started_at_ns"] for stats in batch_stats),
-            default=dispatch_ns,
-        )
-        last_end_ns = max(
-            (stats["ended_at_ns"] for stats in batch_stats), default=end_ns
-        )
-        spinup_s = max(0.0, (first_start_ns - dispatch_ns) / 1e9)
-        recv_s = max(0.0, (end_ns - last_end_ns) / 1e9)
-        if ship and batch_stats:
+        if ship and spinup_s > 0.0:
             tel.tracer.record(
                 "campaign.pool_spinup",
-                dispatch_ns,
-                max(dispatch_ns, first_start_ns),
-                workers=workers,
+                spinup_started_ns,
+                time.perf_counter_ns(),
+                workers=pool.workers,
             )
-            tel.tracer.record(
-                "campaign.result_recv",
-                min(end_ns, last_end_ns),
-                end_ns,
-                batches=len(batch_stats),
+        results: list[ScenarioResult] = []
+        batch_stats: list[dict] = []
+        done: set[int] = set()
+        recv_s = 0.0
+
+        def _take(batch_index: int, batch_results, stats) -> None:
+            nonlocal recv_s
+            done.add(batch_index)
+            results.extend(batch_results)
+            batch_stats.append(stats)
+            for result in batch_results:
+                self.store.add(result)
+            # Per-(worker, kind) synthetic trace lanes: these intervals
+            # describe worker-side activity, so on the parent's own tid
+            # they would interleave with the live span stack (and each
+            # other) and break B/E nesting in the exported trace.
+            worker = stats.get("worker", "?")
+            lane_base = 2 * int(worker[1:]) if worker[1:].isdigit() else 0
+            received_ns = stats.get("received_at_ns")
+            sent_ns = stats.get("sent_at_ns")
+            if received_ns is not None and sent_ns is not None:
+                recv_s += max(0.0, (received_ns - sent_ns) / 1e9)
+                if ship:
+                    tel.tracer.record(
+                        "campaign.stream_recv",
+                        sent_ns,
+                        max(sent_ns, received_ns),
+                        lane=lane_base + 2,
+                        worker=worker,
+                        batch=batch_index,
+                    )
+            if ship and "steal_started_at_ns" in stats:
+                tel.tracer.record(
+                    "campaign.steal",
+                    stats["steal_started_at_ns"],
+                    stats["steal_started_at_ns"] + stats["steal_wait_ns"],
+                    lane=lane_base + 1,
+                    worker=worker,
+                    batch=batch_index,
+                )
+
+        try:
+            for batch_index, batch_results, stats in pool.run_batches(
+                batches, ship_telemetry=ship
+            ):
+                _take(batch_index, batch_results, stats)
+        except WorkerPoolBroken as exc:
+            # The pool is gone; whatever already streamed back is safe
+            # in the store.  Finish the remaining batches in-process
+            # rather than failing (or recomputing) the campaign.
+            _LOG.warning(
+                "worker pool broke mid-run (%s); finishing %d remaining "
+                "batch(es) serially", exc, len(batches) - len(done),
             )
+            if self.pool is pool:
+                self.pool = None
+                self._owns_pool = False
+            for batch_index, (group, config, items, cache_dir) in enumerate(
+                batches
+            ):
+                if batch_index in done:
+                    continue
+                batch_results, stats = _evaluate_batch(
+                    group, config, items, cache_dir,
+                    telemetry=self.spec.telemetry,
+                )
+                _take(batch_index, batch_results, stats)
         return results, batch_stats, spinup_s, recv_s
 
 

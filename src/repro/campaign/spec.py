@@ -281,6 +281,22 @@ class CampaignSpec:
             * len(self.sample_width_counts)
         )
 
+    def structural_groups(self) -> tuple[tuple, ...]:
+        """Distinct structural groups of the grid, in scenario order.
+
+        One entry per expensive structural pass (see
+        :meth:`ScenarioKey.structural_group`) — what a resident worker
+        pool needs to know to warm up ahead of the first batch.
+        """
+        groups: list[tuple] = []
+        seen: set[tuple] = set()
+        for key in self.scenarios():
+            group = key.structural_group()
+            if group not in seen:
+                seen.add(group)
+                groups.append(group)
+        return tuple(groups)
+
     def scenarios(self) -> tuple[ScenarioKey, ...]:
         """Expand the grid into its deterministic scenario sequence."""
         env_digests = {env.name: env.fingerprint() for env in self.environments}

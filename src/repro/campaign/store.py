@@ -1,26 +1,52 @@
 """Persistent, content-addressed campaign results.
 
-The store is a JSONL file: one self-describing record per completed
-scenario, keyed by the scenario's SHA-256 content digest.  Append-only
-writes make it crash-tolerant (a torn final line is ignored on load) and
-trivially mergeable — concatenating two stores is a valid store.  The
-:class:`~repro.campaign.runner.CampaignRunner` consults it before
-dispatching work, which is what makes campaigns resumable: re-running a
-finished campaign costs one file read.
+A :class:`ResultStore` maps scenario content digests to
+:class:`ScenarioResult` records behind one of two file backends:
+
+* **JSONL** (the default): one self-describing record per line,
+  append-only.  Crash-tolerant (a torn final line is ignored on load
+  and guarded against on the next append), trivially mergeable, and
+  greppable.  The whole file is replayed into memory on open.
+* **SQLite** (``*.sqlite`` / ``*.sqlite3`` / ``*.db`` paths, or
+  ``backend="sqlite"``): WAL-mode database with one row per digest.
+  Digest lookups are index hits — no full replay on open — and many
+  processes can append concurrently under SQLite's own locking, which
+  is what a multi-writer campaign service needs.
+
+Both backends share the same contract: **last write wins per digest,
+insertion order is first-write order** — replaying a file produces
+exactly the live store's ``results()`` sequence.  :meth:`ResultStore
+.compact` rewrites redundant history in place (atomic for JSONL,
+``VACUUM`` for SQLite) and :meth:`ResultStore.merge_from` folds any
+other store (either backend) into this one.
+
+The :class:`~repro.campaign.runner.CampaignRunner` consults the store
+before dispatching work and streams freshly computed results into it as
+they arrive, which is what makes campaigns resumable: re-running a
+finished campaign costs one digest scan.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sqlite3
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.campaign.spec import ScenarioKey
 from repro.errors import CampaignError
 
 #: Version of the result-record serialization.
 RESULT_SCHEMA = 1
+
+#: Path suffixes that auto-select the SQLite backend.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: Backend selector names accepted by :class:`ResultStore`.
+STORE_BACKENDS = ("auto", "jsonl", "sqlite")
 
 
 @dataclass(frozen=True)
@@ -85,22 +111,66 @@ class ScenarioResult:
         return result
 
 
-class ResultStore:
-    """Digest-keyed scenario results, optionally backed by a JSONL file.
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
 
-    ``path=None`` gives a purely in-memory store (useful for tests and
-    one-shot campaigns); with a path, every :meth:`add` is appended and
-    flushed immediately, and construction replays the existing file.
+
+class StoreBackend:
+    """File format behind a :class:`ResultStore`.
+
+    A backend persists raw records; the *semantics* — last-wins per
+    digest, first-write ordering, overwrite handling — live in
+    :class:`ResultStore`, so every backend honours the same contract.
+    Implementations must tolerate concurrent appenders on the same
+    path (two campaign runners, a runner plus a merge) without tearing
+    records.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
-        self.path = Path(path) if path is not None else None
-        self._results: dict[str, ScenarioResult] = {}
-        if self.path is not None and self.path.exists():
-            self._load()
+    #: File path the backend persists to.
+    path: Path
 
-    def _load(self) -> None:
-        assert self.path is not None
+    def replay(self) -> Iterator[ScenarioResult]:
+        """Every stored record in append order (duplicates included for
+        formats that keep history)."""
+        raise NotImplementedError
+
+    def append(self, result: ScenarioResult) -> None:
+        """Durably record one result (flushed before returning)."""
+        raise NotImplementedError
+
+    def rewrite(self, results: Sequence[ScenarioResult]) -> None:
+        """Atomically replace the file contents with exactly ``results``
+        in order — the compaction primitive."""
+        raise NotImplementedError
+
+    def lookup(self, digest: str) -> ScenarioResult | None:
+        """Point lookup without a full replay, or ``None`` when the
+        backend cannot do better than replay (JSONL)."""
+        return None
+
+    def close(self) -> None:
+        """Release file handles; further use is undefined."""
+
+
+class JsonlBackend(StoreBackend):
+    """Append-only JSON-lines file, one record per line.
+
+    Appends are single ``write()`` calls on an ``O_APPEND`` handle, so
+    concurrent writers interleave whole lines rather than tearing them.
+    A crash mid-append can still leave a torn *final* line; both
+    :meth:`replay` (ignores it) and :meth:`append` (starts a fresh line
+    when the file does not end in a newline) are guarded against it, so
+    an interrupted run is always resumable and never corrupts the
+    record appended after it.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def replay(self) -> Iterator[ScenarioResult]:
+        if not self.path.exists():
+            return
         text = self.path.read_text(encoding="utf-8")
         lines = text.splitlines()
         for index, line in enumerate(lines):
@@ -117,30 +187,372 @@ class ResultStore:
                 raise CampaignError(
                     f"{self.path}:{index + 1}: not valid JSON"
                 ) from None
-            result = ScenarioResult.from_json_dict(payload)
-            self._results[result.digest()] = result
+            yield ScenarioResult.from_json_dict(payload)
+
+    def _trim_torn_tail(self) -> None:
+        """Drop a torn final line (crash mid-write) before appending.
+
+        Appending directly after a torn tail would concatenate two
+        records into one invalid line — and once a *complete* record
+        follows it, the fragment is no longer final, so ``replay()``
+        would (correctly) refuse the file as interior corruption,
+        turning a recoverable resume into a hard load error.  The
+        fragment is unrecoverable either way (replay already ignores
+        it; its scenario gets recomputed), so truncating it is the
+        append-side half of the same contract.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size == 0:
+            return
+        with self.path.open("rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            last_newline = -1
+            pos = size
+            while pos > 0 and last_newline < 0:
+                start = max(0, pos - 65536)
+                handle.seek(start)
+                data = handle.read(pos - start)
+                index = data.rfind(b"\n")
+                if index >= 0:
+                    last_newline = start + index
+                pos = start
+            handle.truncate(last_newline + 1 if last_newline >= 0 else 0)
+
+    def append(self, result: ScenarioResult) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._trim_torn_tail()
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(result.to_json_dict()) + "\n")
+
+    def rewrite(self, results: Sequence[ScenarioResult]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for result in results:
+                    handle.write(json.dumps(result.to_json_dict()) + "\n")
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+class SqliteBackend(StoreBackend):
+    """WAL-mode SQLite file: one row per digest, upsert on overwrite.
+
+    * ``PRAGMA journal_mode=WAL`` lets readers and one writer proceed
+      concurrently; a generous ``busy_timeout`` serializes concurrent
+      appenders from several processes instead of failing them.
+    * ``digest`` is the primary key, so resume checks are index hits —
+      opening a million-result store costs nothing until it is read.
+    * Overwrites are ``ON CONFLICT DO UPDATE``, which keeps the original
+      ``rowid``: insertion order is first-write order by construction,
+      matching the JSONL replay contract exactly.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(
+                os.fspath(self.path), timeout=30.0, isolation_level=None
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " digest TEXT PRIMARY KEY,"
+                " schema INTEGER NOT NULL,"
+                " payload TEXT NOT NULL)"
+            )
+        except sqlite3.DatabaseError as exc:
+            raise CampaignError(
+                f"{self.path}: not a usable SQLite result store ({exc})"
+            ) from None
+
+    def _parse(self, payload: str) -> ScenarioResult:
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError:
+            raise CampaignError(
+                f"{self.path}: corrupt record payload"
+            ) from None
+        return ScenarioResult.from_json_dict(record)
+
+    def replay(self) -> Iterator[ScenarioResult]:
+        try:
+            rows = self._conn.execute(
+                "SELECT payload FROM results ORDER BY rowid"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise CampaignError(f"{self.path}: {exc}") from None
+        for (payload,) in rows:
+            yield self._parse(payload)
+
+    def append(self, result: ScenarioResult) -> None:
+        self._conn.execute(
+            "INSERT INTO results (digest, schema, payload) VALUES (?, ?, ?)"
+            " ON CONFLICT(digest) DO UPDATE SET"
+            " payload = excluded.payload, schema = excluded.schema",
+            (
+                result.digest(),
+                RESULT_SCHEMA,
+                json.dumps(result.to_json_dict()),
+            ),
+        )
+
+    def rewrite(self, results: Sequence[ScenarioResult]) -> None:
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute("DELETE FROM results")
+            self._conn.executemany(
+                "INSERT INTO results (digest, schema, payload)"
+                " VALUES (?, ?, ?)",
+                [
+                    (r.digest(), RESULT_SCHEMA, json.dumps(r.to_json_dict()))
+                    for r in results
+                ],
+            )
+            self._conn.execute("COMMIT")
+        except sqlite3.DatabaseError:
+            self._conn.execute("ROLLBACK")
+            raise
+        self.vacuum()
+
+    def lookup(self, digest: str) -> ScenarioResult | None:
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is None:
+            return None
+        return self._parse(row[0])
+
+    def contains(self, digest: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE digest = ?", (digest,)
+        ).fetchone()
+        return row is not None
+
+    def count(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        )
+
+    def digests(self) -> set[str]:
+        return {
+            row[0]
+            for row in self._conn.execute("SELECT digest FROM results")
+        }
+
+    def vacuum(self) -> None:
+        """Fold the WAL back into the main file and reclaim free pages."""
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        self._conn.execute("VACUUM")
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _backend_for(path: Path, backend: str) -> StoreBackend:
+    if backend not in STORE_BACKENDS:
+        raise CampaignError(
+            f"store backend must be one of {STORE_BACKENDS}, got {backend!r}"
+        )
+    if backend == "sqlite" or (
+        backend == "auto" and path.suffix.lower() in SQLITE_SUFFIXES
+    ):
+        return SqliteBackend(path)
+    return JsonlBackend(path)
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+
+class ResultStore:
+    """Digest-keyed scenario results, optionally backed by a file.
+
+    ``path=None`` gives a purely in-memory store (useful for tests and
+    one-shot campaigns).  With a path, every :meth:`add` is persisted
+    immediately; the backend is chosen by suffix (``.sqlite`` /
+    ``.sqlite3`` / ``.db`` select SQLite, anything else JSONL) or
+    explicitly via ``backend="jsonl"`` / ``"sqlite"``.
+
+    The JSONL backend replays the file into memory on construction; the
+    SQLite backend is lazy — digest membership, point lookups and
+    ``len()`` are index queries, and records are parsed (and memoized)
+    only when read — so resuming a huge campaign never replays it.
+
+    ``results()`` iterates in **insertion order with last-wins values**:
+    the first write of a digest fixes its position, later overwrites
+    update the value in place.  A replayed store reproduces the live
+    store's sequence exactly, on both backends.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        backend: str = "auto",
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self._results: dict[str, ScenarioResult] = {}
+        self._backend: StoreBackend | None = None
+        if self.path is not None:
+            self._backend = _backend_for(self.path, backend)
+            if not isinstance(self._backend, SqliteBackend):
+                for result in self._backend.replay():
+                    # Last-wins: later lines update the value but keep
+                    # the first occurrence's position (dict semantics),
+                    # matching the live store's ordering contract.
+                    self._results[result.digest()] = result
+
+    @property
+    def backend_name(self) -> str:
+        """``"memory"``, ``"jsonl"`` or ``"sqlite"``."""
+        if self._backend is None:
+            return "memory"
+        return (
+            "sqlite" if isinstance(self._backend, SqliteBackend) else "jsonl"
+        )
+
+    def _sqlite(self) -> SqliteBackend | None:
+        backend = self._backend
+        return backend if isinstance(backend, SqliteBackend) else None
 
     def __len__(self) -> int:
+        sqlite = self._sqlite()
+        if sqlite is not None:
+            return sqlite.count()
         return len(self._results)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._results
+        if digest in self._results:
+            return True
+        sqlite = self._sqlite()
+        return sqlite is not None and sqlite.contains(digest)
+
+    def digests(self) -> set[str]:
+        """Every stored digest — the bulk resume check.
+
+        One indexed scan for SQLite (no payload parsing), a dict-key
+        view for the replayed backends.
+        """
+        sqlite = self._sqlite()
+        if sqlite is not None:
+            return sqlite.digests()
+        return set(self._results)
 
     def get(self, digest: str) -> ScenarioResult | None:
-        return self._results.get(digest)
+        cached = self._results.get(digest)
+        if cached is not None:
+            return cached
+        sqlite = self._sqlite()
+        if sqlite is None:
+            return None
+        result = sqlite.lookup(digest)
+        if result is not None:
+            self._results[digest] = result
+        return result
 
     def add(self, result: ScenarioResult, overwrite: bool = False) -> bool:
         """Record ``result``; returns False if it was already present."""
         digest = result.digest()
-        if digest in self._results and not overwrite:
+        if digest in self and not overwrite:
             return False
         self._results[digest] = result
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(result.to_json_dict()) + "\n")
+        if self._backend is not None:
+            self._backend.append(result)
         return True
 
     def results(self) -> Iterator[ScenarioResult]:
-        """All stored results, in insertion (file) order."""
+        """All stored results, in insertion order (last-wins values)."""
+        sqlite = self._sqlite()
+        if sqlite is not None:
+            return iter(tuple(sqlite.replay()))
         return iter(tuple(self._results.values()))
+
+    def compact(self) -> int:
+        """Rewrite the backing file without redundant history.
+
+        JSONL stores accumulate one line per :meth:`add` — including
+        overwrites — so a long-lived resumed campaign grows without
+        bound; compaction rewrites the file (atomic rename) with exactly
+        one line per digest in insertion order.  SQLite stores never
+        hold duplicate rows; compaction checkpoints the WAL and
+        ``VACUUM``\\ s.  Returns the number of redundant records
+        dropped (0 for in-memory and SQLite stores).
+        """
+        if self._backend is None:
+            return 0
+        sqlite = self._sqlite()
+        if sqlite is not None:
+            sqlite.vacuum()
+            return 0
+        before = sum(1 for __ in self._backend.replay())
+        ordered = tuple(self._results.values())
+        self._backend.rewrite(ordered)
+        return before - len(ordered)
+
+    def merge_from(
+        self,
+        source: "ResultStore | str | Path",
+        overwrite: bool = False,
+    ) -> int:
+        """Fold another store (either backend, or a path) into this one.
+
+        Returns the number of records actually added.  With
+        ``overwrite=False`` (default) existing digests win — merging is
+        idempotent and order-independent for digest-disjoint stores;
+        ``overwrite=True`` makes the source win.
+        """
+        if not isinstance(source, ResultStore):
+            source = ResultStore(source)
+        added = 0
+        for result in source.results():
+            if self.add(result, overwrite=overwrite):
+                added += 1
+        return added
+
+    def close(self) -> None:
+        """Release the backing file; the in-memory view stays readable."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def merge_stores(
+    destination: str | Path | ResultStore,
+    sources: Iterable[str | Path | ResultStore],
+    overwrite: bool = False,
+) -> ResultStore:
+    """Merge ``sources`` into ``destination`` (created if missing).
+
+    Backends may be mixed freely — merging per-worker JSONL shards into
+    one SQLite store is the intended aggregation path.  Returns the
+    destination store, left open.
+    """
+    dest = (
+        destination
+        if isinstance(destination, ResultStore)
+        else ResultStore(destination)
+    )
+    for source in sources:
+        dest.merge_from(source, overwrite=overwrite)
+    return dest

@@ -195,4 +195,14 @@ def format_runtime_accounting(outcome: CampaignOutcome) -> str:
         if outcome.mode == "parallel":
             line += f" (parallel speedup {outcome.analyze_s / outcome.wall_s:.2f}X)"
         lines.append(line)
+    if outcome.mode == "parallel":
+        spinup = (
+            f"{outcome.pool_spinup_s:.3f} s"
+            if outcome.pool_spinup_s > 0.0
+            else "0 s (resident pool reused)"
+        )
+        lines.append(
+            f"pool spin-up: {spinup}; result streaming: "
+            f"{outcome.result_recv_s * 1e3:.2f} ms total"
+        )
     return "\n".join(lines)

@@ -68,6 +68,8 @@ class CacheStats:
     evictions: int = 0
     #: On-disk artifacts deleted by the ``max_disk_bytes`` budget.
     disk_evictions: int = 0
+    #: Artifacts promoted into memory by :meth:`ArtifactCache.preload_disk`.
+    disk_preloads: int = 0
     #: Per-kind hit/miss counts, keyed by artifact kind.
     by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
 
@@ -85,6 +87,7 @@ class CacheStats:
             "disk_writes": self.disk_writes,
             "evictions": self.evictions,
             "disk_evictions": self.disk_evictions,
+            "disk_preloads": self.disk_preloads,
             "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
         }
 
@@ -283,6 +286,47 @@ class ArtifactCache:
             self.stats.disk_evictions += 1
             self.metrics.add("engine.cache.disk_evictions")
             _LOG.debug("disk budget eviction: %s (%d bytes)", path, size)
+
+    def preload_disk(self, limit: int | None = None) -> int:
+        """Promote on-disk array artifacts into the in-memory tier.
+
+        The warm-handoff primitive for pooled campaign workers: a worker
+        forked into a process that has never analyzed anything calls
+        this once, pays the ``npz`` deserialization *before* the first
+        batch arrives (inside the pool's measured spin-up window, not a
+        batch's critical path), and then serves every preloaded artifact
+        as an ordinary memory hit.  Most-recently-written artifacts are
+        preloaded first so a bounded LRU keeps the hottest ones;
+        ``limit`` caps the number of files read (``None`` = all).
+        Unreadable or foreign files are skipped, exactly as in
+        :meth:`load_arrays`.  Returns the number of artifacts promoted.
+        """
+        if self.cache_dir is None:
+            return 0
+        version_dir = self.cache_dir / f"v{ARTIFACT_SCHEMA}"
+        paths: list[tuple[float, Path]] = []
+        for path in version_dir.glob("*.npz"):
+            try:
+                paths.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # concurrently evicted
+        paths.sort(reverse=True)  # newest first
+        if limit is not None:
+            paths = paths[:limit]
+        loaded = 0
+        for __, path in paths:
+            key = path.name[: -len(".npz")]
+            if key in self._entries:
+                continue
+            arrays = self.load_arrays(key)
+            if arrays is None:
+                continue
+            _freeze(arrays)
+            self.put(key, arrays)
+            self.stats.disk_preloads += 1
+            self.metrics.add("engine.cache.disk_preloads")
+            loaded += 1
+        return loaded
 
     def get_or_build_arrays(
         self, key: str, build: Callable[[], dict[str, np.ndarray]]

@@ -259,6 +259,19 @@ class AnalysisEngine:
             )["values"]
             tables.adopt_stack(kind, pairs, stacked)
 
+    def warm_start(self, preload_limit: int | None = None) -> int:
+        """Adopt whatever the on-disk artifact tier already holds.
+
+        Called by pooled campaign workers during spin-up so that the
+        ``P_ij`` matrices and stacked LUT tensors written by earlier
+        runs (or by a sibling worker) are memory hits before the first
+        batch arrives — the cross-process warm handoff.  A no-op for
+        engines without a disk tier.  Returns the number of artifacts
+        promoted into memory.
+        """
+        with self.telemetry.span("engine.warm_start"):
+            return self.cache.preload_disk(limit=preload_limit)
+
     def stats(self) -> dict:
         """Cache counters plus the engine's own simulation counter."""
         snapshot = self.cache.stats.snapshot()

@@ -155,19 +155,32 @@ class Tracer:
         return _SpanHandle(self, name, attrs)
 
     def record(
-        self, name: str, start_ns: int, end_ns: int, **attrs: Any
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        *,
+        lane: int | None = None,
+        **attrs: Any,
     ) -> Span:
         """Record an already-measured interval as a finished span.
 
         Used for retrospective phases measured outside a ``with`` block
-        (e.g. the campaign runner's pool spin-up, reconstructed from
-        worker-reported timestamps).  The span parents under the current
-        thread's innermost open span.
+        (e.g. the campaign runner's pool spin-up and per-batch stealing
+        intervals, built from worker-reported timestamps).  The span
+        parents under the current thread's innermost open span.
+
+        ``lane`` substitutes a synthetic ``tid`` for the recording
+        thread's.  Retrospective spans describing *another* process's
+        activity can overlap each other and the recording thread's live
+        stack; giving each (worker, kind) family its own lane keeps the
+        exported Chrome trace stack-consistent per ``(pid, tid)``.
         """
         stack = self._stack()
         parent = stack[-1].span_id if stack else 0
         span = Span(
-            name, attrs, os.getpid(), threading.get_ident(),
+            name, attrs, os.getpid(),
+            threading.get_ident() if lane is None else lane,
             next(self._ids), parent, int(start_ns), int(end_ns),
         )
         with self._lock:
@@ -260,7 +273,15 @@ class NullTracer:
     def span(self, name: str, **attrs: Any) -> _NullSpanContext:
         return NULL_SPAN
 
-    def record(self, name: str, start_ns: int, end_ns: int, **attrs: Any) -> None:
+    def record(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        *,
+        lane: int | None = None,
+        **attrs: Any,
+    ) -> None:
         return None
 
     def spans(self) -> tuple[Span, ...]:

@@ -1,0 +1,356 @@
+"""Store backend layer: crash-tolerant JSONL appends, the overwrite /
+compact ordering contract, the SQLite backend, concurrent writers from
+several processes, and cross-backend merge/summary equivalence."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    AVIONICS,
+    SEA_LEVEL,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    ScenarioResult,
+    merge_stores,
+    summarize,
+)
+from repro.errors import CampaignError
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        circuits=("c17",),
+        charges_fc=(4.0, 16.0),
+        environments=(SEA_LEVEL, AVIONICS),
+        n_vectors=200,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def synthetic_results(n: int) -> list[ScenarioResult]:
+    """``n`` distinct results with fabricated metrics (no analysis run)."""
+    spec = small_spec(charges_fc=tuple(float(q) for q in range(1, n + 1)))
+    keys = [k for k in spec.scenarios() if k.environment == "sea-level"][:n]
+    assert len(keys) == n
+    return [
+        ScenarioResult(
+            key=key,
+            unreliability_total=float(i),
+            fit=float(i) * 10.0,
+            mission_upset_probability=0.5,
+            analyze_runtime_s=0.0,
+        )
+        for i, key in enumerate(keys)
+    ]
+
+
+# ------------------------------------------------------- torn-line guard
+
+
+class TestTornLineAppendGuard:
+    def test_append_after_torn_line_keeps_both_recoverable(self, tmp_path):
+        """A crash mid-write followed by a later append used to
+        concatenate two records into one invalid line, turning a
+        recoverable resume into a hard load error."""
+        path = tmp_path / "store.jsonl"
+        a, b = synthetic_results(2)
+        store = ResultStore(path)
+        store.add(a)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "digest": "tru')  # torn: no newline
+        resumed = ResultStore(path)
+        assert len(resumed) == 1  # torn fragment ignored
+        resumed.add(b)  # the append that used to corrupt the file
+        final = ResultStore(path)
+        assert {r.digest() for r in final.results()} == {
+            a.digest(), b.digest()
+        }
+
+    def test_crash_then_resume_via_runner(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        spec = small_spec()
+        CampaignRunner(spec, store=ResultStore(path)).run(parallel=False)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        # Simulate a crash mid-append of the final record.
+        path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2],
+            encoding="utf-8",
+        )
+        outcome = CampaignRunner(spec, store=ResultStore(path)).run(
+            parallel=False
+        )
+        assert outcome.computed == 1  # only the torn scenario redone
+        assert outcome.skipped == spec.size() - 1
+        # The resumed file is fully loadable, every line valid JSON.
+        for line in path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)
+        assert len(ResultStore(path)) == spec.size()
+
+
+# --------------------------------------------- overwrite/compact contract
+
+
+class TestOverwriteAndCompact:
+    def _overwritten(self, result: ScenarioResult) -> ScenarioResult:
+        return ScenarioResult(
+            key=result.key,
+            unreliability_total=result.unreliability_total + 100.0,
+            fit=result.fit,
+            mission_upset_probability=result.mission_upset_probability,
+            analyze_runtime_s=result.analyze_runtime_s,
+        )
+
+    @pytest.mark.parametrize("suffix", ["jsonl", "sqlite"])
+    def test_overwrite_is_last_wins_first_position(self, tmp_path, suffix):
+        """The ordering contract: an overwrite updates the value but
+        keeps the digest's original position, and a replayed store
+        reproduces the live store's sequence exactly."""
+        path = tmp_path / f"store.{suffix}"
+        a, b, c = synthetic_results(3)
+        store = ResultStore(path)
+        for r in (a, b, c):
+            store.add(r)
+        new_a = self._overwritten(a)
+        assert store.add(new_a, overwrite=True) is True
+        live = [(r.digest(), r.unreliability_total) for r in store.results()]
+        replayed = [
+            (r.digest(), r.unreliability_total)
+            for r in ResultStore(path).results()
+        ]
+        assert live == replayed
+        assert live[0] == (a.digest(), new_a.unreliability_total)
+        assert [d for d, __ in live] == [r.digest() for r in (a, b, c)]
+
+    def test_jsonl_compact_drops_superseded_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        a, b = synthetic_results(2)
+        store = ResultStore(path)
+        store.add(a)
+        store.add(b)
+        for __ in range(5):  # unbounded growth before the fix
+            store.add(self._overwritten(a), overwrite=True)
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 7
+        dropped = store.compact()
+        assert dropped == 5
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        compacted = ResultStore(path)
+        assert [r.digest() for r in compacted.results()] == [
+            a.digest(), b.digest()
+        ]
+        assert compacted.get(a.digest()).unreliability_total == (
+            a.unreliability_total + 100.0
+        )
+        assert store.compact() == 0  # idempotent
+
+    def test_sqlite_never_accumulates_duplicates(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        (a,) = synthetic_results(1)
+        with ResultStore(path) as store:
+            store.add(a)
+            for __ in range(5):
+                store.add(self._overwritten(a), overwrite=True)
+            assert len(store) == 1
+            assert store.compact() == 0
+        assert len(ResultStore(path)) == 1
+
+    def test_memory_store_compact_is_noop(self):
+        store = ResultStore()
+        (a,) = synthetic_results(1)
+        store.add(a)
+        assert store.compact() == 0
+
+
+# ------------------------------------------------------- SQLite backend
+
+
+class TestSqliteBackend:
+    def test_suffix_selects_backend(self, tmp_path):
+        assert ResultStore(tmp_path / "s.sqlite").backend_name == "sqlite"
+        assert ResultStore(tmp_path / "s.sqlite3").backend_name == "sqlite"
+        assert ResultStore(tmp_path / "s.db").backend_name == "sqlite"
+        assert ResultStore(tmp_path / "s.jsonl").backend_name == "jsonl"
+        assert ResultStore().backend_name == "memory"
+        # Explicit override beats the suffix.
+        assert (
+            ResultStore(tmp_path / "x.dat", backend="sqlite").backend_name
+            == "sqlite"
+        )
+        with pytest.raises(CampaignError):
+            ResultStore(tmp_path / "x.jsonl", backend="postgres")
+
+    def test_round_trip_and_lookup_without_replay(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        results = synthetic_results(5)
+        with ResultStore(path) as store:
+            for r in results:
+                store.add(r)
+        reopened = ResultStore(path)
+        # Point lookups and membership are index hits — no replay has
+        # populated the in-memory dict.
+        assert reopened._results == {}
+        assert results[3].digest() in reopened
+        got = reopened.get(results[3].digest())
+        assert got.to_json_dict() == results[3].to_json_dict()
+        assert len(reopened) == 5
+        assert reopened.digests() == {r.digest() for r in results}
+        assert [r.digest() for r in reopened.results()] == [
+            r.digest() for r in results
+        ]
+
+    def test_runner_resume_on_sqlite(self, tmp_path):
+        path = tmp_path / "campaign.sqlite"
+        spec = small_spec()
+        first = CampaignRunner(spec, store=ResultStore(path)).run(
+            parallel=False
+        )
+        again = CampaignRunner(spec, store=ResultStore(path)).run(
+            parallel=False
+        )
+        assert first.computed == spec.size() and first.skipped == 0
+        assert again.computed == 0 and again.skipped == spec.size()
+        assert [r.to_json_dict() for r in again.results] == [
+            r.to_json_dict() for r in first.results
+        ]
+
+    def test_corrupt_file_raises_campaign_error(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"this is not a database at all" * 20)
+        with pytest.raises(CampaignError):
+            ResultStore(path).results()
+
+    def test_jsonl_and_sqlite_summaries_identical(self, tmp_path):
+        spec = small_spec()
+        jsonl = ResultStore(tmp_path / "s.jsonl")
+        sqlite = ResultStore(tmp_path / "s.sqlite")
+        CampaignRunner(spec, store=jsonl).run(parallel=False)
+        CampaignRunner(spec, store=sqlite).run(parallel=False)
+        table_j = summarize(ResultStore(tmp_path / "s.jsonl").results())
+        table_s = summarize(ResultStore(tmp_path / "s.sqlite").results())
+        assert table_j.format_fit_table() == table_s.format_fit_table()
+        assert table_j.format_best_table() == table_s.format_best_table()
+
+
+# ------------------------------------------------------------- merging
+
+
+class TestMerge:
+    @pytest.mark.parametrize(
+        "src_suffix,dst_suffix",
+        [("jsonl", "jsonl"), ("jsonl", "sqlite"), ("sqlite", "jsonl")],
+    )
+    def test_merge_across_backends(self, tmp_path, src_suffix, dst_suffix):
+        results = synthetic_results(6)
+        shard_a = ResultStore(tmp_path / f"a.{src_suffix}")
+        shard_b = ResultStore(tmp_path / f"b.{src_suffix}")
+        for r in results[:4]:
+            shard_a.add(r)
+        for r in results[2:]:  # overlaps shard_a on 2 digests
+            shard_b.add(r)
+        dest = merge_stores(
+            tmp_path / f"merged.{dst_suffix}",
+            [tmp_path / f"a.{src_suffix}", tmp_path / f"b.{src_suffix}"],
+        )
+        assert len(dest) == 6
+        assert dest.digests() == {r.digest() for r in results}
+        # Idempotent: merging again adds nothing.
+        assert dest.merge_from(shard_a) == 0
+
+    def test_merge_overwrite_lets_source_win(self, tmp_path):
+        (a,) = synthetic_results(1)
+        newer = ScenarioResult(
+            key=a.key,
+            unreliability_total=a.unreliability_total + 1.0,
+            fit=a.fit,
+            mission_upset_probability=a.mission_upset_probability,
+            analyze_runtime_s=a.analyze_runtime_s,
+        )
+        dest = ResultStore(tmp_path / "dest.jsonl")
+        dest.add(a)
+        src = ResultStore(tmp_path / "src.jsonl")
+        src.add(newer)
+        assert dest.merge_from(src) == 0  # default: existing wins
+        assert dest.merge_from(src, overwrite=True) == 1
+        assert dest.get(a.digest()).unreliability_total == (
+            newer.unreliability_total
+        )
+
+
+# ---------------------------------------------------- concurrent writers
+
+
+_WRITER_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.campaign import CampaignSpec, ResultStore, ScenarioResult
+from repro.campaign.environments import SEA_LEVEL, AVIONICS
+
+path, lane = sys.argv[1], int(sys.argv[2])
+spec = CampaignSpec(
+    circuits=("c17",),
+    charges_fc=tuple(float(q) for q in range(1, 21)),
+    environments=(SEA_LEVEL, AVIONICS),
+    n_vectors=200,
+    seed=3,
+)
+keys = [k for k in spec.scenarios() if k.environment == "sea-level"][:20]
+results = [
+    ScenarioResult(
+        key=key,
+        unreliability_total=float(i),
+        fit=float(i) * 10.0,
+        mission_upset_probability=0.5,
+        analyze_runtime_s=0.0,
+    )
+    for i, key in enumerate(keys)
+]
+store = ResultStore(path)
+for result in results[lane::2]:
+    store.add(result)
+store.close()
+print("ok")
+"""
+
+
+class TestConcurrentWriters:
+    @pytest.mark.parametrize("suffix", ["jsonl", "sqlite"])
+    def test_two_processes_append_simultaneously(self, tmp_path, suffix):
+        """Two writer processes interleave appends to one store; the
+        result must load cleanly and contain both result sets."""
+        path = tmp_path / f"shared.{suffix}"
+        script = tmp_path / "writer.py"
+        script.write_text(
+            _WRITER_SCRIPT.format(src=SRC_DIR), encoding="utf-8"
+        )
+        root = str(Path(__file__).resolve().parent.parent)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(path), str(lane)],
+                cwd=root,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for lane in (0, 1)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "ok"
+        store = ResultStore(path)
+        expected = {r.digest() for r in synthetic_results(20)}
+        assert store.digests() == expected
+        assert len(store) == 20
+        for result in store.results():  # every record parses + verifies
+            assert result.digest() in expected

@@ -468,13 +468,12 @@ class TestCampaignTelemetry:
             seen.add(key)
 
     def test_pool_fallback_warns(self, monkeypatch, caplog):
-        import concurrent.futures
+        from repro.campaign import pool as pool_mod
 
-        class BoomPool:
-            def __init__(self, *args, **kwargs):
-                raise OSError("sandbox denies semaphores")
+        def boom(self):
+            raise pool_mod.WorkerPoolError("sandbox denies fork")
 
-        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", BoomPool)
+        monkeypatch.setattr(pool_mod.WorkerPool, "start", boom)
         # Two charges -> two batches, so the runner actually reaches for
         # the pool (a single batch is clamped to one worker and never
         # tries it).
