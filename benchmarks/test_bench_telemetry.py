@@ -14,6 +14,7 @@ campaign, each validated and held to the >=90% span-coverage bar.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -71,13 +72,65 @@ def _analyze_baseline(analyzer: AsertaAnalyzer) -> float:
     return report.total
 
 
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
-    for __ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
-    return best
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _paired_overhead(
+    base_fn, other_fn, pairs: int
+) -> tuple[float, float, float]:
+    """``(overhead, base_s, other_s)`` from interleaved paired sampling.
+
+    Timing each side in a separate best-of pass lets slow drift
+    (thermal throttle, host CPU contention under a shared VM, a
+    background process waking up) land entirely on whichever side ran
+    second, which showed up as measured "overheads" of either sign with
+    magnitudes at the 3% gate itself.  Instead the two sides are timed
+    as ``pairs`` back-to-back single-call pairs — alternating which
+    side of the pair goes first, so "second call runs warmer" order
+    bias is split evenly rather than accumulating on one side — and
+    the overhead is the ratio of the two per-side *medians*.  The
+    samples of both sides interleave at call granularity (a few ms),
+    far finer than the drift they need to cancel, and the median
+    discards preempted outliers; measured spread on a host whose
+    absolute timings drifted 25% within one run stays within ~1%,
+    where the separate best-of passes spread over +/-3%.  A garbage
+    collection landing inside one call would skew its sample, so GC is
+    held off for the (bounded) duration.  ``base_s``/``other_s`` are
+    the median per-call times, reported for the table.
+    """
+    base_times: list[float] = []
+    other_times: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for index in range(pairs):
+            first, second = (
+                (base_fn, other_fn) if index % 2 == 0 else (other_fn, base_fn)
+            )
+            started = time.perf_counter()
+            first()
+            middle = time.perf_counter()
+            second()
+            ended = time.perf_counter()
+            first_s, second_s = middle - started, ended - middle
+            if index % 2 == 0:
+                base_times.append(first_s)
+                other_times.append(second_s)
+            else:
+                other_times.append(first_s)
+                base_times.append(second_s)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    base_s = _median(base_times)
+    other_s = _median(other_times)
+    return other_s / base_s - 1.0, base_s, other_s
 
 
 def test_disabled_telemetry_overhead_gate(benchmark):
@@ -90,32 +143,42 @@ def test_disabled_telemetry_overhead_gate(benchmark):
     baseline_total = _analyze_baseline(analyzer)
     assert instrumented_total == baseline_total
 
-    repeats = 7
-    baseline_s = _best_of(lambda: _analyze_baseline(analyzer), repeats)
-    disabled_s = _best_of(lambda: analyzer.analyze(), repeats)
-    if disabled_s / baseline_s - 1.0 > MAX_DISABLED_OVERHEAD:
-        # Shared runners jitter; re-measure once (best across rounds)
+    pairs = 250  # ~1.5 s of interleaved samples per measurement
+    disabled_overhead, baseline_s, disabled_s = _paired_overhead(
+        lambda: _analyze_baseline(analyzer),
+        lambda: analyzer.analyze(),
+        pairs,
+    )
+    if disabled_overhead > MAX_DISABLED_OVERHEAD:
+        # Shared runners jitter; re-measure once (lower median wins)
         # before declaring a regression.  The real null-path cost is a
         # handful of no-op attribute lookups per analyze() — nanoseconds
         # against a tens-of-milliseconds analysis.
-        baseline_s = min(
-            baseline_s, _best_of(lambda: _analyze_baseline(analyzer), repeats)
+        retry_overhead, rebase_s, redis_s = _paired_overhead(
+            lambda: _analyze_baseline(analyzer),
+            lambda: analyzer.analyze(),
+            pairs,
         )
-        disabled_s = min(disabled_s, _best_of(lambda: analyzer.analyze(), repeats))
+        disabled_overhead = min(disabled_overhead, retry_overhead)
+        baseline_s = min(baseline_s, rebase_s)
+        disabled_s = min(disabled_s, redis_s)
 
-    # Enabled cost: reported for the table, never gated.
+    # Enabled cost: reported for the table, never gated.  Paired against
+    # the same uninstrumented body (which never touches the handle), so
+    # the reported figure gets the same drift cancellation as the gate.
     traced = Telemetry()
     analyzer.telemetry = traced
     try:
-        enabled_s = _best_of(lambda: analyzer.analyze(), repeats)
+        enabled_overhead, __, enabled_s = _paired_overhead(
+            lambda: _analyze_baseline(analyzer),
+            lambda: analyzer.analyze(),
+            pairs,
+        )
     finally:
         from repro.telemetry import NULL_TELEMETRY
 
         analyzer.telemetry = NULL_TELEMETRY
     benchmark.pedantic(lambda: analyzer.analyze(), iterations=3, rounds=3)
-
-    disabled_overhead = disabled_s / baseline_s - 1.0
-    enabled_overhead = enabled_s / baseline_s - 1.0
 
     payload = {
         "bench": "telemetry_overhead",

@@ -328,3 +328,20 @@ def default_tables() -> TechnologyTables:
     if _DEFAULT_TABLES is None:
         _DEFAULT_TABLES = TechnologyTables()
     return _DEFAULT_TABLES
+
+
+def reset_default_tables() -> TechnologyTables | None:
+    """Drop the shared table singleton; returns the previous instance.
+
+    The singleton accumulates lazily built :class:`GridTable` objects
+    and adopted LUT stacks for the life of the process, so anything
+    measuring a *cold* analysis (the campaign throughput benchmark, a
+    profiling session) must reset it or the measurement silently rides
+    whatever earlier analyses in the same process already paid for.
+    Live analyzers holding a reference keep their (warm) instance; only
+    the next :func:`default_tables` call builds a fresh one.
+    """
+    global _DEFAULT_TABLES
+    previous = _DEFAULT_TABLES
+    _DEFAULT_TABLES = None
+    return previous
