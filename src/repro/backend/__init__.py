@@ -1,0 +1,109 @@
+"""Pluggable array backends for the fused Section-3.2 sweep.
+
+The vectorized analysis core is NumPy end to end; this package puts a
+*thin* shim under its one hottest kernel — the per-level gather /
+interpolate / combine / scatter step the compiled
+:class:`~repro.core.sweep_plan.SweepPlan` executes — so the
+``(B, V, O, k+1)`` population tensors can ride a JIT (Numba) or a GPU
+(CuPy) without the rest of the library knowing.
+
+The contract is the repository's bitwise-differential discipline,
+extended with an explicit accuracy axis:
+
+* the ``"numpy"`` backend is the default and is **bitwise identical**
+  to the unfused per-level reference loop (``tolerance == 0.0``,
+  asserted by the conformance matrix in
+  ``tests/test_conformance_matrix.py``);
+* every other backend **must declare its tolerance explicitly** at
+  registration (:func:`register_backend` rejects a missing one) — the
+  conformance suite then verifies the backend against the reference to
+  exactly that bound, so "fast but silently different" backends cannot
+  exist.
+
+Selection order (first hit wins):
+
+1. an explicit ``backend=`` argument / ``AsertaConfig.array_backend``;
+2. the ``REPRO_ARRAY_BACKEND`` environment variable;
+3. ``"numpy"``.
+
+Optional backends (Numba, CuPy) register themselves only when their
+runtime imports; asking for an unavailable one raises with the list of
+backends that *are* available, it never falls back silently.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backend.base import ArrayBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import AnalysisError
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+_REGISTRY: dict[str, ArrayBackend] = {}
+
+
+def register_backend(backend: ArrayBackend, *, replace: bool = False) -> None:
+    """Register ``backend`` under its :attr:`~ArrayBackend.name`.
+
+    Non-NumPy backends must carry an explicit, finite ``tolerance``
+    (``0.0`` claims bitwise identity; anything looser must be declared
+    honestly — the conformance matrix holds the backend to it).
+    """
+    name = backend.name
+    if not name or not isinstance(name, str):
+        raise AnalysisError("array backend needs a non-empty string name")
+    if backend.tolerance is None or backend.tolerance < 0.0:
+        raise AnalysisError(
+            f"array backend {name!r} must declare a tolerance >= 0.0 "
+            "explicitly at registration (0.0 == bitwise identical)"
+        )
+    if name in _REGISTRY and not replace:
+        raise AnalysisError(f"array backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered (importable) backend."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """The registered backend called ``name``; raises listing the
+    available ones when it is missing (an optional runtime that did not
+    import, or a typo) — never a silent fallback."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise AnalysisError(
+            f"array backend {name!r} is not available; "
+            f"registered backends: {sorted(_REGISTRY)}"
+        )
+    return backend
+
+
+def resolve_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve the selection chain: explicit name, then
+    ``REPRO_ARRAY_BACKEND``, then the NumPy default."""
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    return get_backend(name)
+
+
+# The NumPy default always exists.
+register_backend(NumpyBackend())
+
+# Optional JIT backend: registers itself only when numba imports.
+from repro.backend import numba_backend as _numba_backend  # noqa: E402
+
+_numba_backend.register_if_available()
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,126 @@
+"""The array-backend contract: one hot kernel, an explicit tolerance.
+
+An :class:`ArrayBackend` accelerates exactly the inner step of the
+compiled Section-3.2 sweep (:class:`~repro.core.sweep_plan.SweepPlan`):
+for one logic level, gather the live successor ``WS`` interpolation
+endpoints through precomputed flat offsets, interpolate once per
+unique ``(destination, output)`` cell, expand onto the live pairs,
+weight with the nonzero Equation-2 shares, and scatter-add onto the
+``(source, output)`` targets in the reference accumulation order.
+Everything around the kernel — plan compilation, chunking, Equations
+3–4 — stays NumPy and backend-agnostic.
+
+The base class *is* the reference implementation: 1-D integer-array
+gathers (NumPy's fast indexing path) and in-place arithmetic,
+elementwise identical to the unfused per-level loop it replaces.  The
+bitwise argument: the flat offsets address exactly the elements the
+unfused gathers read; interpolating once per unique cell then copying
+onto its pairs produces the same doubles each duplicate pair would
+have computed from the same inputs; multiplication is commutative at
+the bit level in IEEE-754; ``x *= a; x += y`` produces the same
+doubles as ``x * a + y``; and the zero-share work the plan dropped
+contributed exact ``+0.0`` terms that cannot change any sum (see the
+:mod:`~repro.core.sweep_plan` module docstring).  Subclasses override
+:meth:`sweep_level_batch` / :meth:`sweep_level_single` with a fused
+JIT or device kernel and declare how far they are allowed to drift
+via :attr:`tolerance`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ArrayBackend:
+    """Base backend: NumPy semantics, overridable hot kernel.
+
+    ``name`` identifies the backend in configs, cache keys and the
+    ``REPRO_ARRAY_BACKEND`` environment variable.  ``tolerance`` is the
+    backend's declared maximum relative deviation from the reference
+    sweep: ``0.0`` claims bitwise identity (the NumPy backend's
+    contract); non-zero values are honest accuracy declarations the
+    conformance matrix enforces as an upper bound.  ``level`` arguments
+    are :class:`~repro.core.sweep_plan.PlanLevel` records — everything
+    about one logic level that could be precompiled (live-pair
+    extraction, cell factorization, share weights, the scatter slot
+    decomposition).
+    """
+
+    name: str = "base"
+    tolerance: float | None = None
+
+    def attenuate_batch(
+        self, samples: np.ndarray, delays: np.ndarray
+    ) -> np.ndarray:
+        """Equation 1 over a population: ``(B, V, k)`` from ``(B, k)``
+        samples and ``(B, V)`` delays.  Delegates to the shared NumPy
+        kernel; a device backend overrides this to keep the tensor
+        resident."""
+        from repro.tech.glitch import propagate_width_grid_batch
+
+        return propagate_width_grid_batch(samples, delays)
+
+    def sweep_level_batch(
+        self,
+        ws_flat: np.ndarray,
+        gather: np.ndarray,
+        scatter: np.ndarray,
+        m_grid: np.ndarray,
+        level,
+        low_c: np.ndarray,
+        high_c: np.ndarray,
+        frac_c: np.ndarray,
+        omf_c: np.ndarray,
+    ) -> None:
+        """One sweep level for a ``(B, ...)`` population, in place on
+        the raveled ``ws_flat`` view.
+
+        ``gather`` is the ``(B, C, 1)`` flat address of anchor 0 per
+        (lane, cell); ``scatter`` the ``(B, P, 1)`` flat address of
+        anchor 1 per (lane, pair) target; ``m_grid`` the ``(1, 1, k)``
+        inner-sample offsets; ``low_c`` / ``high_c`` / ``frac_c`` /
+        ``omf_c`` are the ``(B, C, k)`` bracket indices, interpolation
+        fraction and its complement pre-gathered onto this level's
+        cells.
+        """
+        idx = gather + low_c
+        t_lo = ws_flat[idx]
+        np.add(gather, high_c, out=idx)
+        t_hi = ws_flat[idx]
+        t_lo *= omf_c
+        t_hi *= frac_c
+        t_lo += t_hi
+        contribution = t_lo[:, level.pair_cell]
+        contribution *= level.share_batch
+        for pos in level.slots:
+            ws_flat[scatter[:, pos] + m_grid] += contribution[:, pos]
+
+    def sweep_level_single(
+        self,
+        ws_flat: np.ndarray,
+        gather: np.ndarray,
+        scatter: np.ndarray,
+        m_grid: np.ndarray,
+        level,
+        low_c: np.ndarray,
+        high_c: np.ndarray,
+        frac_c: np.ndarray,
+        omf_c: np.ndarray,
+    ) -> None:
+        """One sweep level for a single candidate (no batch axis):
+        ``gather`` is ``(C, 1)``, ``scatter`` ``(P, 1)``, ``m_grid``
+        ``(1, k)`` and the bracket tensors are ``(C, k)``."""
+        idx = gather + low_c
+        t_lo = ws_flat[idx]
+        np.add(gather, high_c, out=idx)
+        t_hi = ws_flat[idx]
+        t_lo *= omf_c
+        t_hi *= frac_c
+        t_lo += t_hi
+        contribution = t_lo[level.pair_cell]
+        contribution *= level.share_single
+        for pos in level.slots:
+            ws_flat[scatter[pos] + m_grid] += contribution[pos]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, tolerance={self.tolerance})"

@@ -1,0 +1,127 @@
+"""Optional Numba JIT backend — registered only when numba imports.
+
+The per-level kernel is the one place a JIT genuinely helps: the
+live-pair level tensors are a few thousand elements, and a compiled
+loop nest removes both the NumPy dispatch and every index/expansion
+temporary the array form materializes.  Inside the JIT the fan-out
+scatter needs no slot decomposition — a sequential pair loop in
+edge-major order *is* the reference ``np.add.at`` accumulation order.
+
+The kernel reads and writes through the same flat-offset addressing
+the NumPy backend uses (``ws_flat[offset + bracket index]``), with the
+interpolation endpoints resolved per unique ``(destination, output)``
+cell via the level's ``pair_cell`` map.  Accuracy: it evaluates
+``share * (lo * (1-f) + hi * f)`` with strict IEEE-754 semantics
+(``fastmath`` off), so it tracks the NumPy path to the last few ulps;
+the backend still declares a small non-zero ``tolerance`` (1e-12
+relative) rather than claiming bitwise identity — the documented rule
+for every non-NumPy backend, enforced at registration and verified by
+the conformance matrix.
+
+This module must import cleanly without numba installed: the container
+image pins its dependency set, so the backend is gated on
+importability and :func:`register_if_available` is a silent no-op when
+the runtime is absent (CI surfaces the skip visibly in the backend
+matrix leg).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover - the baked image has no numba
+    numba = None
+
+_BATCH_KERNEL = None
+_SINGLE_KERNEL = None
+
+
+def _build_kernels():  # pragma: no cover - requires numba
+    """Compile the level kernels once, on first registration."""
+    global _BATCH_KERNEL, _SINGLE_KERNEL
+    if _BATCH_KERNEL is not None:
+        return
+
+    @numba.njit(cache=False, fastmath=False)
+    def batch_kernel(ws_flat, gather, scatter, pair_cell, pair_share,
+                     low_c, high_c, frac_c, omf_c):
+        n_lanes, n_cells, n_k = low_c.shape
+        n_pairs = pair_cell.shape[0]
+        for b in range(n_lanes):
+            for p in range(n_pairs):
+                c = pair_cell[p]
+                sh = pair_share[p]
+                cell = gather[b, c, 0]
+                target = scatter[b, p, 0]
+                for m in range(n_k):
+                    lo = ws_flat[cell + low_c[b, c, m]]
+                    hi = ws_flat[cell + high_c[b, c, m]]
+                    ws_flat[target + m] += sh * (
+                        lo * omf_c[b, c, m] + hi * frac_c[b, c, m]
+                    )
+
+    @numba.njit(cache=False, fastmath=False)
+    def single_kernel(ws_flat, gather, scatter, pair_cell, pair_share,
+                      low_c, high_c, frac_c, omf_c):
+        n_cells, n_k = low_c.shape
+        n_pairs = pair_cell.shape[0]
+        for p in range(n_pairs):
+            c = pair_cell[p]
+            sh = pair_share[p]
+            cell = gather[c, 0]
+            target = scatter[p, 0]
+            for m in range(n_k):
+                lo = ws_flat[cell + low_c[c, m]]
+                hi = ws_flat[cell + high_c[c, m]]
+                ws_flat[target + m] += sh * (
+                    lo * omf_c[c, m] + hi * frac_c[c, m]
+                )
+
+    _BATCH_KERNEL = batch_kernel
+    _SINGLE_KERNEL = single_kernel
+
+
+class NumbaBackend(ArrayBackend):  # pragma: no cover - requires numba
+    """JIT-compiled level kernel; declared tolerance 1e-12 relative."""
+
+    name = "numba"
+    tolerance = 1e-12
+
+    def sweep_level_batch(
+        self, ws_flat, gather, scatter, m_grid, level,
+        low_c, high_c, frac_c, omf_c,
+    ) -> None:
+        _BATCH_KERNEL(
+            ws_flat, np.ascontiguousarray(gather),
+            np.ascontiguousarray(scatter),
+            level.pair_cell, level.pair_share,
+            np.ascontiguousarray(low_c), np.ascontiguousarray(high_c),
+            np.ascontiguousarray(frac_c), np.ascontiguousarray(omf_c),
+        )
+
+    def sweep_level_single(
+        self, ws_flat, gather, scatter, m_grid, level,
+        low_c, high_c, frac_c, omf_c,
+    ) -> None:
+        _SINGLE_KERNEL(
+            ws_flat, np.ascontiguousarray(gather),
+            np.ascontiguousarray(scatter),
+            level.pair_cell, level.pair_share,
+            np.ascontiguousarray(low_c), np.ascontiguousarray(high_c),
+            np.ascontiguousarray(frac_c), np.ascontiguousarray(omf_c),
+        )
+
+
+def register_if_available() -> bool:
+    """Register the backend when numba imports; no-op (False) otherwise."""
+    if numba is None:
+        return False
+    _build_kernels()  # pragma: no cover - requires numba
+    from repro.backend import register_backend  # pragma: no cover
+
+    register_backend(NumbaBackend(), replace=True)  # pragma: no cover
+    return True  # pragma: no cover

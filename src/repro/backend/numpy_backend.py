@@ -1,0 +1,20 @@
+"""The default array backend: plain NumPy, bitwise identical.
+
+This backend *is* the reference semantics — the kernels it inherits
+from :class:`~repro.backend.base.ArrayBackend` are the fused form of
+the unfused per-level loop, elementwise identical double for double.
+Its declared tolerance is therefore exactly ``0.0``: the conformance
+matrix asserts ``np.testing.assert_array_equal`` against the unfused
+reference, not an approximate comparison.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """NumPy default — ``tolerance = 0.0`` (bitwise identity)."""
+
+    name = "numpy"
+    tolerance = 0.0

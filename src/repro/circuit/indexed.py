@@ -140,6 +140,7 @@ class IndexedCircuit:
         self._fanin_level_segments: tuple | None = None
         self._fanout_level_segments: tuple | None = None
         self._fanout_slot_plan: tuple | None = None
+        self._sweep_index_plan: tuple | None = None
 
     # ------------------------------------------------------------------
     # Level plans (reverse levels + per-level CSR segment blocks)
@@ -219,6 +220,64 @@ class IndexedCircuit:
                 rank += 1
             self._fanout_slot_plan = tuple(plan)
         return self._fanout_slot_plan
+
+    @staticmethod
+    def _slot_decomposition(src: np.ndarray) -> tuple:
+        """Occurrence-rank slots of one edge batch.
+
+        ``np.add.at`` accumulates one edge at a time in batch order —
+        flexible but slow.  Within a batch, occurrence ``j`` of each
+        source row forms a *unique-index* slot, so
+        ``acc[srcs] += values[pos]`` per slot replays the exact
+        per-element accumulation order (a gate's successor
+        contributions add in fan-out declaration order) with ordinary
+        fancy-index adds.  One ``(positions, source rows)`` pair per
+        occurrence rank.
+        """
+        order = np.argsort(src, kind="stable")
+        sorted_src = src[order]
+        new_group = np.ones(sorted_src.size, dtype=bool)
+        new_group[1:] = sorted_src[1:] != sorted_src[:-1]
+        starts = np.flatnonzero(new_group)
+        counts = np.diff(np.append(starts, sorted_src.size))
+        occurrence = np.empty(sorted_src.size, dtype=np.int64)
+        occurrence[order] = np.arange(sorted_src.size) - np.repeat(
+            starts, counts
+        )
+        slots = []
+        for rank in range(int(counts.max(initial=0))):
+            pos = np.flatnonzero(occurrence == rank)
+            slots.append((pos, src[pos]))
+        return tuple(slots)
+
+    def sweep_index_plan(self) -> tuple:
+        """Topology schedule of the reverse Section-3.2 sweep, cached.
+
+        Returns ``(batches, slots)``: ``batches`` is one edge-id array
+        per source forward level in descending order (internal —
+        non-input, non-PO — sources only, so every batch reads only
+        finished successor rows), exactly the order
+        :func:`repro.core.masking.masking_structure` schedules; and
+        ``slots`` holds each batch's :meth:`_slot_decomposition`.
+        Everything here depends on the netlist alone — shares and
+        assignments never touch it — so it is computed once per
+        indexed view and shared by every masking structure and
+        compiled :class:`~repro.core.sweep_plan.SweepPlan` over it.
+        """
+        if self._sweep_index_plan is None:
+            internal = ~self.is_input & ~self.is_output
+            batches: list[np.ndarray] = []
+            edge_ids = np.flatnonzero(internal[self.edge_src])
+            if edge_ids.size:
+                src_levels = self.level[self.edge_src[edge_ids]]
+                for level in np.unique(src_levels)[::-1]:
+                    batches.append(edge_ids[src_levels == level])
+            slots = tuple(
+                self._slot_decomposition(self.edge_src[edges])
+                for edges in batches
+            )
+            self._sweep_index_plan = (tuple(batches), slots)
+        return self._sweep_index_plan
 
     def fanin_level_segments(self) -> tuple:
         """Per-forward-level fan-in gather plan for level-batched sweeps.

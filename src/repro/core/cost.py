@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.aserta import AsertaAnalyzer, AsertaBatch, AsertaReport
+from repro.core.aserta import (
+    DEFAULT_MAX_BATCH_BYTES,
+    AsertaAnalyzer,
+    AsertaBatch,
+    AsertaReport,
+)
 from repro.errors import OptimizationError
 from repro.power.energy import circuit_energy
 from repro.power.area import circuit_area
@@ -174,19 +179,23 @@ class CostEvaluator:
         self,
         assignments=None,
         params: dict[str, np.ndarray] | None = None,
+        max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
     ) -> np.ndarray:
         """Equation-5 totals for a population, as a ``(B,)`` array.
 
-        Metrics come from one :meth:`AsertaAnalyzer.analyze_many` pass;
-        ratios and the weighted sum apply the exact expressions of
-        :meth:`evaluate`, so lane ``b`` agrees with the serial cost of
-        assignment ``b`` to float reassociation (the unreliability and
-        delay terms are bit-equal; energy/area sum in dense row order).
-        No :class:`CostBreakdown` (and no per-candidate report) is
-        built — this is the batched SERTOPT objective's fast path.
+        Metrics come from one :meth:`AsertaAnalyzer.analyze_many` pass
+        (chunked under ``max_batch_bytes``, a pure execution knob: the
+        totals are invariant to it, bit for bit); ratios and the
+        weighted sum apply the exact expressions of :meth:`evaluate`,
+        so lane ``b`` agrees with the serial cost of assignment ``b``
+        to float reassociation (the unreliability and delay terms are
+        bit-equal; energy/area sum in dense row order).  No
+        :class:`CostBreakdown` (and no per-candidate report) is built —
+        this is the batched SERTOPT objective's fast path.
         """
         batch: AsertaBatch = self.analyzer.analyze_many(
-            assignments=assignments, params=params
+            assignments=assignments, params=params,
+            max_batch_bytes=max_batch_bytes,
         )
         base = self.baseline_breakdown.metrics
         ratios = (

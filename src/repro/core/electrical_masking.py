@@ -42,6 +42,8 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.backend import resolve_backend
+from repro.backend.base import ArrayBackend
 from repro.circuit.indexed import IndexedCircuit
 from repro.circuit.netlist import Circuit
 from repro.core.masking import (
@@ -50,6 +52,7 @@ from repro.core.masking import (
     masking_structure,
     propagation_shares,
 )
+from repro.core.sweep_plan import SweepPlan, sweep_plan_for
 from repro.errors import AnalysisError
 from repro.tech.electrical_view import CircuitElectrical
 from repro.tech.glitch import (
@@ -81,40 +84,18 @@ def _take_last(tab: np.ndarray, ind: np.ndarray) -> np.ndarray:
 
 
 def _sweep_slots(structure: MaskingStructure):
-    """Fan-out slot decomposition of every sweep batch, cached on the
-    structure.
+    """Fan-out slot decomposition of every sweep batch.
 
-    ``np.add.at`` accumulates one edge at a time in batch order —
-    flexible but slow.  Within a batch, occurrence ``j`` of each source
-    row forms a *unique-index* slot, so ``inner[srcs] += weighted[pos]``
-    per slot replays the exact per-element accumulation order (a gate's
-    successor contributions add in fan-out declaration order) with
-    ordinary fancy-index adds.  One ``(positions, source rows)`` pair
-    per occurrence rank per batch.
+    Served from the indexed circuit's cached topology schedule
+    (:meth:`~repro.circuit.indexed.IndexedCircuit.sweep_index_plan`,
+    which also feeds the compiled :class:`~repro.core.sweep_plan.SweepPlan`):
+    within a batch, occurrence ``j`` of each source row forms a
+    *unique-index* slot, so ``inner[srcs] += weighted[pos]`` per slot
+    replays the exact per-element ``np.add.at`` accumulation order (a
+    gate's successor contributions add in fan-out declaration order)
+    with ordinary fancy-index adds.
     """
-    slots = getattr(structure, "_sweep_slots", None)
-    if slots is None:
-        edge_src = structure.indexed.edge_src
-        slots = []
-        for edges in structure.sweep_batches:
-            src = edge_src[edges]
-            order = np.argsort(src, kind="stable")
-            sorted_src = src[order]
-            new_group = np.ones(sorted_src.size, dtype=bool)
-            new_group[1:] = sorted_src[1:] != sorted_src[:-1]
-            starts = np.flatnonzero(new_group)
-            counts = np.diff(np.append(starts, sorted_src.size))
-            occurrence = np.empty(sorted_src.size, dtype=np.int64)
-            occurrence[order] = np.arange(sorted_src.size) - np.repeat(
-                starts, counts
-            )
-            batch_slots = []
-            for rank in range(int(counts.max(initial=0))):
-                pos = np.flatnonzero(occurrence == rank)
-                batch_slots.append((pos, src[pos]))
-            slots.append(tuple(batch_slots))
-        slots = tuple(slots)
-        object.__setattr__(structure, "_sweep_slots", slots)
+    __batches, slots = structure.indexed.sweep_index_plan()
     return slots
 
 
@@ -283,6 +264,9 @@ def electrical_masking(
     sample_widths: np.ndarray | None = None,
     structure: MaskingStructure | None = None,
     epsilon: float = DEFAULT_SHARE_EPSILON,
+    backend: ArrayBackend | str | None = None,
+    plan: SweepPlan | None = None,
+    fused: bool = True,
 ) -> ElectricalMaskingResult:
     """Run the Section-3.2 pass over the array core.
 
@@ -297,6 +281,13 @@ def electrical_masking(
     is what lets the artifact cache serve structures across circuit
     copies).  ``epsilon`` is the Equation-2 route-dropping cutoff, used
     only when the structure is built here.
+
+    ``fused`` (the default) executes the sweep through the compiled
+    :class:`~repro.core.sweep_plan.SweepPlan` on the selected array
+    ``backend`` — bitwise identical to the unfused per-level loop on
+    the NumPy backend, which ``fused=False`` keeps available as the
+    in-tree reference for the differential suite.  ``plan`` short-cuts
+    the per-structure plan cache when the caller already holds one.
     """
     samples = (
         default_sample_widths(elec) if sample_widths is None
@@ -344,21 +335,28 @@ def electrical_masking(
     # Step (iii), one logic level at a time from the output side: gather
     # successor tables, interpolate at the attenuated widths, combine
     # with the Equation-2 shares, scatter-add onto the sources.
-    inner = ws[:, :, 1:]
-    edge_share = structure.edge_shares
-    edge_dst = idx.edge_dst
-    for edges, batch_slots in zip(
-        structure.sweep_batches, _sweep_slots(structure)
-    ):
-        dst = edge_dst[edges]
-        tab = ws[dst]
-        f = frac[dst][:, np.newaxis, :]
-        t_lo = _take_last(tab, low[dst][:, np.newaxis, :])
-        t_hi = _take_last(tab, high[dst][:, np.newaxis, :])
-        contribution = t_lo * (1.0 - f) + t_hi * f
-        weighted = edge_share[edges][:, :, np.newaxis] * contribution
-        for pos, srcs in batch_slots:
-            inner[srcs] += weighted[pos]
+    if fused:
+        if not isinstance(backend, ArrayBackend):
+            backend = resolve_backend(backend)
+        if plan is None:
+            plan = sweep_plan_for(structure, backend)
+        plan.run_single(ws, low, high, frac, backend)
+    else:
+        inner = ws[:, :, 1:]
+        edge_share = structure.edge_shares
+        edge_dst = idx.edge_dst
+        for edges, batch_slots in zip(
+            structure.sweep_batches, _sweep_slots(structure)
+        ):
+            dst = edge_dst[edges]
+            tab = ws[dst]
+            f = frac[dst][:, np.newaxis, :]
+            t_lo = _take_last(tab, low[dst][:, np.newaxis, :])
+            t_hi = _take_last(tab, high[dst][:, np.newaxis, :])
+            contribution = t_lo * (1.0 - f) + t_hi * f
+            weighted = edge_share[edges][:, :, np.newaxis] * contribution
+            for pos, srcs in batch_slots:
+                inner[srcs] += weighted[pos]
 
     # Step (iv): expected widths for the generated glitches, one
     # interpolation per (gate, output) out of the same tensor.
@@ -417,6 +415,9 @@ def electrical_masking_many(
     delays: np.ndarray,
     generated: np.ndarray,
     sample_widths: np.ndarray,
+    backend: ArrayBackend | str | None = None,
+    plan: SweepPlan | None = None,
+    fused: bool = True,
 ) -> np.ndarray:
     """The Section-3.2 sweep for a *population* of candidates at once.
 
@@ -431,8 +432,16 @@ def electrical_masking_many(
     ``np.add.at`` accumulation order per lane), so the expected-width
     matrices — and the Equation-4 totals reduced from them — are
     bit-identical to the one-candidate path.
+
+    ``fused`` (the default) runs the sweep through the compiled
+    :class:`~repro.core.sweep_plan.SweepPlan` on ``backend``
+    (``None`` resolves the config/env/NumPy selection chain); the
+    NumPy backend is bitwise identical to the unfused per-level loop,
+    which ``fused=False`` preserves as the differential reference.
     """
     idx = structure.indexed
+    if fused and not isinstance(backend, ArrayBackend):
+        backend = resolve_backend(backend)
     delays = np.asarray(delays, dtype=np.float64)
     samples = np.asarray(sample_widths, dtype=np.float64)
     generated = np.asarray(generated, dtype=np.float64)
@@ -456,26 +465,35 @@ def electrical_masking_many(
     po_cols = idx.col_of_row[po_rows]
     ws[:, po_rows, po_cols, 1:] = samples[:, np.newaxis, :]
 
-    attenuated = propagate_width_grid_batch(samples, delays)
+    attenuated = (
+        backend.attenuate_batch(samples, delays)
+        if fused
+        else propagate_width_grid_batch(samples, delays)
+    )
     low, high, frac = bracket_queries_rows(anchored_x, attenuated, "width")
 
-    inner = ws[..., 1:]
-    edge_share = structure.edge_shares
-    edge_dst = idx.edge_dst
-    for edges, batch_slots in zip(
-        structure.sweep_batches, _sweep_slots(structure)
-    ):
-        dst = edge_dst[edges]
-        tab = ws[:, dst]
-        f = frac[:, dst][:, :, np.newaxis, :]
-        t_lo = _take_last(tab, low[:, dst][:, :, np.newaxis, :])
-        t_hi = _take_last(tab, high[:, dst][:, :, np.newaxis, :])
-        contribution = t_lo * (1.0 - f) + t_hi * f
-        weighted = (
-            edge_share[edges][np.newaxis, :, :, np.newaxis] * contribution
-        )
-        for pos, srcs in batch_slots:
-            inner[:, srcs] += weighted[:, pos]
+    if fused:
+        if plan is None:
+            plan = sweep_plan_for(structure, backend)
+        plan.run_batch(ws, low, high, frac, backend)
+    else:
+        inner = ws[..., 1:]
+        edge_share = structure.edge_shares
+        edge_dst = idx.edge_dst
+        for edges, batch_slots in zip(
+            structure.sweep_batches, _sweep_slots(structure)
+        ):
+            dst = edge_dst[edges]
+            tab = ws[:, dst]
+            f = frac[:, dst][:, :, np.newaxis, :]
+            t_lo = _take_last(tab, low[:, dst][:, :, np.newaxis, :])
+            t_hi = _take_last(tab, high[:, dst][:, :, np.newaxis, :])
+            contribution = t_lo * (1.0 - f) + t_hi * f
+            weighted = (
+                edge_share[edges][np.newaxis, :, :, np.newaxis] * contribution
+            )
+            for pos, srcs in batch_slots:
+                inner[:, srcs] += weighted[:, pos]
 
     g_low, g_high, g_frac = bracket_queries_rows(
         anchored_x, generated, "width"

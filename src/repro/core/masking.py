@@ -232,18 +232,14 @@ def masking_structure(
     shares = np.where(p[idx.edge_dst] > 0.0, shares, 0.0)
     shares = np.where(denom[idx.edge_src] > epsilon, shares, 0.0)
 
-    internal = ~idx.is_input & ~idx.is_output
-    batches: list[np.ndarray] = []
-    edge_ids = np.flatnonzero(internal[idx.edge_src])
-    if edge_ids.size:
-        src_levels = idx.level[idx.edge_src[edge_ids]]
-        for level in np.unique(src_levels)[::-1]:
-            batches.append(edge_ids[src_levels == level])
+    # The level schedule is pure topology; serve it from the indexed
+    # view's cached sweep plan (identical batch order by construction).
+    batches, __slots = idx.sweep_index_plan()
     return MaskingStructure(
         indexed=idx,
         p_matrix=p,
         edge_shares=shares,
-        sweep_batches=tuple(batches),
+        sweep_batches=batches,
     )
 
 

@@ -35,6 +35,7 @@ KIND_STRUCTURE = "masking_structure"
 KIND_COMPILED = "compiled_structural"
 KIND_INDEXED = "indexed_circuit"
 KIND_STACKED_LUT = "stacked_lut"
+KIND_SWEEP_PLAN = "sweep_plan"
 
 
 def canonical_json(payload: Any) -> str:
@@ -103,6 +104,34 @@ def structure_key(
         seed=int(seed),
         probabilities=probability_digest(input_probabilities),
         epsilon=float(epsilon),
+    )
+
+
+def sweep_plan_key(
+    circuit: Circuit,
+    n_vectors: int,
+    seed: int,
+    input_probabilities: Mapping[str, float] | float,
+    epsilon: float,
+    backend: str,
+) -> str:
+    """Key of one compiled Section-3.2 sweep plan.
+
+    Everything the underlying masking structure depends on, plus the
+    *array backend* axis: a plan resolved for one backend must never be
+    served to another (a JIT backend may precompile kernels against its
+    own layout), so the backend name is a first-class key field —
+    unlike :func:`p_matrix_key`, which is engine-independent because
+    both structural estimators are bit-identical by contract.
+    """
+    return artifact_key(
+        KIND_SWEEP_PLAN,
+        circuit=circuit_digest(circuit),
+        n_vectors=int(n_vectors),
+        seed=int(seed),
+        probabilities=probability_digest(input_probabilities),
+        epsilon=float(epsilon),
+        backend=str(backend),
     )
 
 

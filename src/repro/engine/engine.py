@@ -231,6 +231,47 @@ class AnalysisEngine:
             self.cache.put(key, structure)
         return structure
 
+    def sweep_plan(
+        self,
+        circuit: Circuit,
+        probabilities: Mapping[str, float],
+        n_vectors: int,
+        seed: int,
+        epsilon: float,
+        backend: str = "numpy",
+        structure: "MaskingStructure | None" = None,
+    ):
+        """The compiled Section-3.2 sweep plan, served from cache.
+
+        Keyed like the masking structure it compiles *plus a backend
+        axis* (:func:`repro.engine.artifacts.sweep_plan_key`): one
+        circuit analyzed under two array backends holds two plans.
+        ``structure`` short-cuts the structure lookup when the caller
+        (an analyzer) already resolved it.  A plan holds only integer
+        schedules and dense shares — all determined by the netlist
+        content the key embeds — so content-equal live circuit copies
+        share one cached plan, exactly like masking structures.
+        """
+        from repro.core.sweep_plan import sweep_plan_for
+
+        if structure is None:
+            structure = self.masking_structure(
+                circuit, probabilities, n_vectors, seed, epsilon
+            )
+        key = artifacts.sweep_plan_key(
+            circuit, n_vectors, seed, probabilities, epsilon, backend
+        )
+        plan = self.cache.get(key)
+        if plan is None:
+            with self.telemetry.span(
+                "engine.sweep_plan.build",
+                circuit=circuit.name,
+                backend=backend,
+            ):
+                plan = sweep_plan_for(structure, backend)
+            self.cache.put(key, plan)
+        return plan
+
     # ------------------------------------------------------------------
     # Electrical artifacts
     # ------------------------------------------------------------------

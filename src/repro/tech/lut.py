@@ -226,15 +226,17 @@ def bracket_queries_rows(
     if grids.shape[1] == 1:
         zero_i = np.zeros(values.shape, dtype=np.int64)
         return zero_i, zero_i, np.zeros(values.shape)
-    # All rows resolve at once: counting grid points <= value reproduces
-    # np.searchsorted(..., side="right") exactly, and the clamp/fraction
-    # expressions below are those of _bracket_array verbatim — so every
-    # row is bit-identical to the single-grid path, without the per-row
-    # Python loop (this runs twice per population masking sweep).
+    # One binary search per row: np.searchsorted(..., side="right")
+    # yields the same counts as comparing every value against every
+    # grid point, and the clamp/fraction expressions below are those of
+    # _bracket_array verbatim — so every row is bit-identical to the
+    # single-grid path.  The per-row loop costs B tiny calls, which
+    # profiles well under the O(B * N * M) broadcast comparison it
+    # replaces (this runs twice per population masking sweep).
     flat = values.reshape(values.shape[0], -1)
-    high = np.sum(
-        grids[:, np.newaxis, :] <= flat[:, :, np.newaxis], axis=2
-    )
+    high = np.empty(flat.shape, dtype=np.int64)
+    for row in range(grids.shape[0]):
+        high[row] = np.searchsorted(grids[row], flat[row], side="right")
     high = np.minimum(np.maximum(high, 1), grids.shape[1] - 1)
     low = high - 1
     row_ar = np.arange(grids.shape[0])[:, np.newaxis]

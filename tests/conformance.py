@@ -1,0 +1,328 @@
+"""Reusable reference-vs-fast conformance harness.
+
+Every fast path in the repo is gated by a differential against its slow
+reference: the vectorized masking sweep against the dict walk, the
+batched structural estimator against the event-driven one, the
+level-batched matcher against the per-gate walk, and — since the fused
+sweep plan landed — every registered array backend against the unfused
+NumPy loop.  The assertions those suites share live here, so
+``test_differential``, ``test_batched_core``, ``test_engine_structural``
+and the backend matrix (``test_conformance_matrix``) state one contract
+in one place.
+
+Comparison discipline:
+
+* ``tolerance == 0.0`` means *bitwise* — ``np.testing.assert_array_equal``,
+  no epsilon.  The NumPy backend and every batched/serial pair are held
+  to this.
+* a positive tolerance is the backend's own declaration (made at
+  registration, see :func:`repro.backend.register_backend`); the
+  comparison uses it for both ``rtol`` and ``atol``.
+
+This module is deliberately not named ``test_*``: pytest never collects
+it, test files import it (the ``tests/`` directory is on ``sys.path``
+under pytest's rootdir import mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, get_backend
+from repro.backend.base import ArrayBackend
+from repro.circuit.generator import GeneratorSpec, generate_circuit
+from repro.circuit.iscas85 import iscas85_circuit, iscas85_names
+from repro.core.electrical_masking import (
+    default_sample_widths,
+    default_sample_widths_batch,
+    electrical_masking,
+    electrical_masking_many,
+)
+from repro.core.matching import MatchingEngine
+from repro.engine.structural import (
+    structural_matrix_batched,
+    structural_matrix_event,
+)
+from repro.tech.electrical_view import (
+    batched_electrical_arrays,
+    stack_cell_param_arrays,
+)
+from repro.tech.library import CellParams, ParameterAssignment
+
+#: Reassociation noise bound for comparisons that cross a float
+#: reduction order change (energy/area/cost); everything structural is
+#: held to exact equality instead.
+RTOL = 1e-9
+
+#: Generator-family circuits for the conformance matrix — one per
+#: flavor plus a deep chain (the regime where Equation-2 denominators
+#: underflow and routes get dropped).
+CONFORMANCE_SPECS = [
+    GeneratorSpec("conf-control", 6, 3, 40, 5, seed=2, flavor="control"),
+    GeneratorSpec("conf-alu", 8, 4, 70, 6, seed=17, flavor="alu"),
+    GeneratorSpec("conf-parity", 5, 2, 30, 4, seed=33, flavor="parity"),
+    GeneratorSpec("conf-deep", 4, 2, 48, 12, seed=71, flavor="control"),
+]
+
+#: The full conformance circuit axis: every bundled ISCAS-85 netlist
+#: plus the generator families.
+CONFORMANCE_CIRCUITS = list(iscas85_names()) + [
+    spec.name for spec in CONFORMANCE_SPECS
+]
+
+
+def conformance_circuit(name: str):
+    """Materialize one circuit of the conformance axis by name."""
+    for spec in CONFORMANCE_SPECS:
+        if spec.name == name:
+            return generate_circuit(spec)
+    return iscas85_circuit(name)
+
+
+def mixed_assignment(circuit, seed: int) -> ParameterAssignment:
+    """A non-uniform assignment hitting several table cells per axis."""
+    rng = np.random.default_rng(seed)
+    assignment = ParameterAssignment()
+    for gate in circuit.gates():
+        if rng.random() < 0.5:
+            continue
+        assignment.set(
+            gate.name,
+            CellParams(
+                size=float(rng.choice([0.5, 1.0, 2.0, 3.0])),
+                length_nm=float(rng.choice([70.0, 100.0, 150.0])),
+                vdd=float(rng.choice([0.8, 1.0, 1.2])),
+                vth=float(rng.choice([0.2, 0.3])),
+            ),
+        )
+    return assignment
+
+
+def mixed_assignments(circuit, seed: int, count: int) -> list[ParameterAssignment]:
+    """A population of non-uniform assignments (sparser overrides than
+    :func:`mixed_assignment` so lanes differ from each other)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for __ in range(count):
+        assignment = ParameterAssignment()
+        for gate in circuit.gates():
+            if rng.random() < 0.4:
+                continue
+            assignment.set(
+                gate.name,
+                CellParams(
+                    size=float(rng.choice([0.5, 1.0, 2.0, 3.0])),
+                    length_nm=float(rng.choice([70.0, 100.0, 150.0])),
+                    vdd=float(rng.choice([0.8, 1.0, 1.2])),
+                    vth=float(rng.choice([0.2, 0.3])),
+                ),
+            )
+        out.append(assignment)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tolerance-aware array comparison (the backend contract)
+# ---------------------------------------------------------------------------
+
+
+def assert_conforms(
+    actual: np.ndarray,
+    reference: np.ndarray,
+    tolerance: float,
+    context: str = "",
+) -> None:
+    """Backend conformance: bitwise at tolerance 0.0, declared epsilon
+    otherwise (applied as both ``rtol`` and ``atol``)."""
+    if tolerance == 0.0:
+        np.testing.assert_array_equal(actual, reference, err_msg=context)
+    else:
+        np.testing.assert_allclose(
+            actual, reference, rtol=tolerance, atol=tolerance,
+            err_msg=context,
+        )
+
+
+def backend_params() -> list:
+    """Pytest params for the array-backend axis.
+
+    Every registered backend runs; the JIT (numba) leg is emitted as a
+    *visible skip* when the import gate closed — the CI matrix must
+    show the leg was considered, never silently shrink.
+    """
+    registered = available_backends()
+    params = [pytest.param(name, id=f"backend-{name}") for name in registered]
+    if "numba" not in registered:
+        params.append(
+            pytest.param(
+                "numba",
+                id="backend-numba",
+                marks=pytest.mark.skip(
+                    reason="numba not importable: JIT backend leg skipped"
+                ),
+            )
+        )
+    return params
+
+
+# ---------------------------------------------------------------------------
+# Section-3.2 sweep: fused backend vs. the unfused reference loop
+# ---------------------------------------------------------------------------
+
+
+def assert_fused_sweep_conforms_single(
+    analyzer, assignment, backend: ArrayBackend | str
+) -> None:
+    """One-candidate path: the fused plan under ``backend`` against the
+    unfused per-level loop, within the backend's declared tolerance."""
+    backend = (
+        backend if isinstance(backend, ArrayBackend) else get_backend(backend)
+    )
+    circuit = analyzer.circuit
+    elec = analyzer.electrical_view(assignment)
+    samples = default_sample_widths(elec, analyzer.config.n_sample_widths)
+    reference = electrical_masking(
+        circuit, elec, sample_widths=samples,
+        structure=analyzer.structure, fused=False,
+    )
+    fused = electrical_masking(
+        circuit, elec, sample_widths=samples,
+        structure=analyzer.structure, backend=backend,
+    )
+    assert reference.arrays is not None and fused.arrays is not None
+    tol = backend.tolerance
+    assert tol is not None, f"backend {backend.name!r} declared no tolerance"
+    assert_conforms(
+        fused.arrays.ws, reference.arrays.ws, tol,
+        f"{circuit.name}: fused ws vs unfused ({backend.name})",
+    )
+    assert_conforms(
+        fused.arrays.expected, reference.arrays.expected, tol,
+        f"{circuit.name}: fused expected vs unfused ({backend.name})",
+    )
+
+
+def assert_fused_sweep_conforms_batch(
+    analyzer, assignments, backend: ArrayBackend | str
+) -> None:
+    """Population path: fused ``electrical_masking_many`` under
+    ``backend`` against the unfused batch loop."""
+    backend = (
+        backend if isinstance(backend, ArrayBackend) else get_backend(backend)
+    )
+    circuit = analyzer.circuit
+    idx = analyzer.indexed
+    params = stack_cell_param_arrays(idx, assignments)
+    arrays = batched_electrical_arrays(
+        circuit, analyzer.tables, params, charge_fc=analyzer.config.charge_fc
+    )
+    samples = default_sample_widths_batch(
+        idx,
+        arrays["delay_ps"],
+        arrays["generated_width_ps"],
+        analyzer.config.n_sample_widths,
+    )
+    reference = electrical_masking_many(
+        analyzer.structure,
+        arrays["delay_ps"],
+        arrays["generated_width_ps"],
+        samples,
+        fused=False,
+    )
+    fused = electrical_masking_many(
+        analyzer.structure,
+        arrays["delay_ps"],
+        arrays["generated_width_ps"],
+        samples,
+        backend=backend,
+    )
+    tol = backend.tolerance
+    assert tol is not None, f"backend {backend.name!r} declared no tolerance"
+    assert_conforms(
+        fused, reference, tol,
+        f"{circuit.name}: fused batch expected vs unfused ({backend.name})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Masking sweep: vectorized array core vs. the scalar dict reference
+# ---------------------------------------------------------------------------
+
+
+def assert_masking_results_agree(vectorized, reference, rtol=RTOL) -> None:
+    """Sample widths, per-(gate, output) tables and expected widths of
+    the array pass against the scalar dict walk."""
+    np.testing.assert_allclose(
+        vectorized.sample_widths, reference.sample_widths, rtol=0
+    )
+    assert set(reference.tables) == set(vectorized.tables)
+    for gate, row in reference.tables.items():
+        assert set(row) == set(vectorized.tables[gate]), gate
+        for output, table in row.items():
+            np.testing.assert_allclose(
+                vectorized.tables[gate][output], table,
+                rtol=rtol, atol=1e-15, err_msg=f"{gate}->{output}",
+            )
+    assert set(reference.expected) == set(vectorized.expected)
+    for gate, row in reference.expected.items():
+        assert set(row) == set(vectorized.expected[gate]), gate
+        for output, width in row.items():
+            assert vectorized.expected[gate][output] == pytest.approx(
+                width, rel=rtol, abs=1e-15
+            ), (gate, output)
+
+
+def assert_reports_agree(arrays_report, reference_report, rtol=RTOL) -> None:
+    """Full ``analyze`` reports: total, per-gate sizes, generated widths
+    and contributions of the array engine against the reference engine."""
+    assert arrays_report.total == pytest.approx(
+        reference_report.total, rel=rtol
+    )
+    ref_gates = reference_report.unreliability.per_gate
+    arr_gates = arrays_report.unreliability.per_gate
+    assert set(ref_gates) == set(arr_gates)
+    for name, entry in ref_gates.items():
+        got = arr_gates[name]
+        assert got.size == entry.size
+        assert got.generated_width_ps == pytest.approx(
+            entry.generated_width_ps, rel=rtol, abs=1e-15
+        )
+        assert set(got.widths_by_output) == set(entry.widths_by_output)
+        assert got.contribution == pytest.approx(
+            entry.contribution, rel=rtol, abs=1e-15
+        )
+
+
+# ---------------------------------------------------------------------------
+# Structural engine: batched fault-site sweep vs. event-driven walk
+# ---------------------------------------------------------------------------
+
+
+def assert_structural_bit_identical(circuit, n_vectors: int, seed: int) -> None:
+    """Both structural estimators simulate the same packed vectors, so
+    every ``P_ij`` must be *bit-identical* — no tolerance."""
+    event = structural_matrix_event(circuit, n_vectors, seed=seed)
+    batched = structural_matrix_batched(circuit, n_vectors, seed=seed)
+    np.testing.assert_array_equal(batched, event)
+
+
+# ---------------------------------------------------------------------------
+# Matcher: level-batched schedule vs. per-gate walk
+# ---------------------------------------------------------------------------
+
+
+def make_matching_engines(circuit, library):
+    """The (per-gate, level-batched) engine pair under one library."""
+    return (
+        MatchingEngine(circuit, library, level_batched=False),
+        MatchingEngine(circuit, library, level_batched=True),
+    )
+
+
+def assert_matcher_states_equal(a, b, context: str = "") -> None:
+    """Matched states must be bitwise identical: same cells, same input
+    capacitances, same supplies."""
+    np.testing.assert_array_equal(a.cell_idx, b.cell_idx, err_msg=context)
+    np.testing.assert_array_equal(a.input_cap, b.input_cap, err_msg=context)
+    np.testing.assert_array_equal(a.vdd, b.vdd, err_msg=context)

@@ -15,6 +15,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from conformance import (
+    RTOL,
+    assert_matcher_states_equal as _assert_states_equal,
+    make_matching_engines as _make_engines,
+    mixed_assignments as _mixed_assignments,
+)
 from repro.circuit.generator import GeneratorSpec, generate_circuit
 from repro.circuit.iscas85 import iscas85_circuit, iscas85_names
 from repro.core.aserta import AsertaAnalyzer, AsertaConfig
@@ -36,36 +42,14 @@ from repro.tech.electrical_view import (
     continuous_delay_arrays,
     stack_cell_param_arrays,
 )
-from repro.tech.library import CellLibrary, CellParams, ParameterAssignment
+from repro.tech.library import CellLibrary, ParameterAssignment
 
-RTOL = 1e-9
 SPECS = [
     GeneratorSpec("batch-control", 6, 3, 40, 5, seed=2, flavor="control"),
     GeneratorSpec("batch-alu", 8, 4, 70, 6, seed=17, flavor="alu"),
     GeneratorSpec("batch-parity", 5, 2, 30, 4, seed=33, flavor="parity"),
 ]
 ISCAS = ["c17", "c432", "c499"]
-
-
-def _mixed_assignments(circuit, seed: int, count: int) -> list[ParameterAssignment]:
-    rng = np.random.default_rng(seed)
-    out = []
-    for __ in range(count):
-        assignment = ParameterAssignment()
-        for gate in circuit.gates():
-            if rng.random() < 0.4:
-                continue
-            assignment.set(
-                gate.name,
-                CellParams(
-                    size=float(rng.choice([0.5, 1.0, 2.0, 3.0])),
-                    length_nm=float(rng.choice([70.0, 100.0, 150.0])),
-                    vdd=float(rng.choice([0.8, 1.0, 1.2])),
-                    vth=float(rng.choice([0.2, 0.3])),
-                ),
-            )
-        out.append(assignment)
-    return out
 
 
 def _circuits():
@@ -391,19 +375,6 @@ class TestBatchedMatching:
         materialized = cell_param_arrays(idx, state.assignment(0, idx.order))
         for field in ("size", "length_nm", "vdd", "vth"):
             np.testing.assert_array_equal(params[field][0], materialized[field])
-
-
-def _make_engines(circuit, library):
-    return (
-        MatchingEngine(circuit, library, level_batched=False),
-        MatchingEngine(circuit, library, level_batched=True),
-    )
-
-
-def _assert_states_equal(a, b, context=""):
-    np.testing.assert_array_equal(a.cell_idx, b.cell_idx, err_msg=context)
-    np.testing.assert_array_equal(a.input_cap, b.input_cap, err_msg=context)
-    np.testing.assert_array_equal(a.vdd, b.vdd, err_msg=context)
 
 
 class TestLevelBatchedMatcher:

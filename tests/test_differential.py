@@ -11,9 +11,14 @@ the observed differences, which sit at the last few ulps).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
+from conformance import (
+    RTOL,
+    assert_masking_results_agree,
+    assert_reports_agree,
+    mixed_assignment,
+)
 from repro.circuit.generator import GeneratorSpec, generate_circuit
 from repro.circuit.iscas85 import iscas85_circuit
 from repro.core.aserta import AsertaAnalyzer, AsertaConfig
@@ -22,8 +27,6 @@ from repro.core.electrical_masking import (
     electrical_masking_reference,
 )
 from repro.tech.library import CellParams, ParameterAssignment
-
-RTOL = 1e-9
 SPECS = [
     GeneratorSpec("diff-control", 6, 3, 40, 5, seed=2, flavor="control"),
     GeneratorSpec("diff-alu", 8, 4, 70, 6, seed=17, flavor="alu"),
@@ -33,25 +36,6 @@ SPECS = [
 ]
 
 
-def _mixed_assignment(circuit, seed: int) -> ParameterAssignment:
-    """A non-uniform assignment hitting several table cells per axis."""
-    rng = np.random.default_rng(seed)
-    assignment = ParameterAssignment()
-    for gate in circuit.gates():
-        if rng.random() < 0.5:
-            continue
-        assignment.set(
-            gate.name,
-            CellParams(
-                size=float(rng.choice([0.5, 1.0, 2.0, 3.0])),
-                length_nm=float(rng.choice([70.0, 100.0, 150.0])),
-                vdd=float(rng.choice([0.8, 1.0, 1.2])),
-                vth=float(rng.choice([0.2, 0.3])),
-            ),
-        )
-    return assignment
-
-
 @pytest.fixture(params=range(len(SPECS)), ids=[s.name for s in SPECS])
 def case(request):
     spec = SPECS[request.param]
@@ -59,7 +43,7 @@ def case(request):
     analyzer = AsertaAnalyzer(
         circuit, AsertaConfig(n_vectors=256, seed=spec.seed)
     )
-    assignment = _mixed_assignment(circuit, spec.seed)
+    assignment = mixed_assignment(circuit, spec.seed)
     return circuit, analyzer, assignment
 
 
@@ -96,24 +80,7 @@ class TestMaskingDifferential:
             analyzer.sensitized_paths,
             structure=analyzer.structure,
         )
-        np.testing.assert_allclose(
-            vectorized.sample_widths, reference.sample_widths, rtol=0
-        )
-        assert set(reference.tables) == set(vectorized.tables)
-        for gate, row in reference.tables.items():
-            assert set(row) == set(vectorized.tables[gate]), gate
-            for output, table in row.items():
-                np.testing.assert_allclose(
-                    vectorized.tables[gate][output], table,
-                    rtol=RTOL, atol=1e-15, err_msg=f"{gate}->{output}",
-                )
-        assert set(reference.expected) == set(vectorized.expected)
-        for gate, row in reference.expected.items():
-            assert set(row) == set(vectorized.expected[gate]), gate
-            for output, width in row.items():
-                assert vectorized.expected[gate][output] == pytest.approx(
-                    width, rel=RTOL, abs=1e-15
-                ), (gate, output)
+        assert_masking_results_agree(vectorized, reference)
 
 
 class TestFullAnalysisDifferential:
@@ -121,20 +88,7 @@ class TestFullAnalysisDifferential:
         __, analyzer, assignment = case
         reference = analyzer.analyze(assignment, engine="reference")
         arrays = analyzer.analyze(assignment, engine="array")
-        assert arrays.total == pytest.approx(reference.total, rel=RTOL)
-        ref_gates = reference.unreliability.per_gate
-        arr_gates = arrays.unreliability.per_gate
-        assert set(ref_gates) == set(arr_gates)
-        for name, entry in ref_gates.items():
-            got = arr_gates[name]
-            assert got.size == entry.size
-            assert got.generated_width_ps == pytest.approx(
-                entry.generated_width_ps, rel=RTOL, abs=1e-15
-            )
-            assert set(got.widths_by_output) == set(entry.widths_by_output)
-            assert got.contribution == pytest.approx(
-                entry.contribution, rel=RTOL, abs=1e-15
-            )
+        assert_reports_agree(arrays, reference)
 
     def test_missing_probabilities_fail_loudly(self, case):
         """The dense structure must reject incomplete probability maps

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from conformance import assert_structural_bit_identical
 from repro.circuit.generator import GeneratorSpec, generate_circuit
 from repro.circuit.iscas85 import iscas85_circuit, iscas85_names
 from repro.engine.structural import (
@@ -45,28 +46,19 @@ GENERATOR_SPECS = [
 
 @pytest.mark.parametrize("name", iscas85_names())
 def test_bit_identical_on_iscas(name):
-    circuit = iscas85_circuit(name)
-    event = structural_matrix_event(circuit, N_VECTORS, seed=SEED)
-    batched = structural_matrix_batched(circuit, N_VECTORS, seed=SEED)
-    np.testing.assert_array_equal(batched, event)
+    assert_structural_bit_identical(iscas85_circuit(name), N_VECTORS, SEED)
 
 
 @pytest.mark.parametrize(
     "spec", GENERATOR_SPECS, ids=[s.name for s in GENERATOR_SPECS]
 )
 def test_bit_identical_on_generator_circuits(spec):
-    circuit = generate_circuit(spec)
-    event = structural_matrix_event(circuit, 200, seed=spec.seed)
-    batched = structural_matrix_batched(circuit, 200, seed=spec.seed)
-    np.testing.assert_array_equal(batched, event)
+    assert_structural_bit_identical(generate_circuit(spec), 200, spec.seed)
 
 
 @pytest.mark.parametrize("fixture", ["chain4", "diamond", "two_output"])
 def test_bit_identical_on_fixtures(fixture, request):
-    circuit = request.getfixturevalue(fixture)
-    event = structural_matrix_event(circuit, 70, seed=3)
-    batched = structural_matrix_batched(circuit, 70, seed=3)
-    np.testing.assert_array_equal(batched, event)
+    assert_structural_bit_identical(request.getfixturevalue(fixture), 70, 3)
 
 
 @pytest.mark.parametrize("block_sites", [1, 3, 64, 10_000])
